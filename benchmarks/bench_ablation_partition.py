@@ -1,0 +1,51 @@
+"""Ablation: parallel-compilation scaling from balanced MST partitioning
+(paper Sec V-D; the paper's METIS step, solved exactly here)."""
+
+from benchmarks.conftest import run_once
+from repro.core import AccQOC, ModelEngine
+from repro.core.partition import node_weights_from_sequence, partition_tree
+from repro.core.simgraph import (
+    IDENTITY_VERTEX,
+    build_similarity_graph,
+    prim_compile_sequence,
+)
+from repro.grouping import dedupe_groups
+from repro.utils.config import PipelineConfig
+from repro.workloads import build_named
+
+
+def _scaling():
+    acc = AccQOC(PipelineConfig(policy_name="map2b4l"))
+    _, groups = acc.groups_of(build_named("cm152a"))
+    unique = [
+        g for g in dedupe_groups(groups).unique
+        if not acc.engine.estimator.is_virtual_diagonal(g.matrix())
+    ]
+    sequence = prim_compile_sequence(build_similarity_graph(unique, "fidelity1"))
+    model = ModelEngine().iterations
+    raw = node_weights_from_sequence(sequence, root_weight=1.0)
+    weights = {}
+    for vertex in sequence.order:
+        base = model.base(unique[vertex].n_qubits)
+        if sequence.parent[vertex] == IDENTITY_VERTEX:
+            weights[vertex] = base
+        else:
+            weights[vertex] = base * model.warm_ratio(raw[vertex])
+    serial = sum(weights.values())
+    rows = []
+    for k in (1, 2, 4, 8, 16):
+        part = partition_tree(sequence, weights, k)
+        rows.append((k, part.bottleneck, serial / part.bottleneck))
+    return rows
+
+
+def test_ablation_partition(benchmark):
+    rows = run_once(benchmark, _scaling)
+    print()
+    for k, bottleneck, speedup in rows:
+        print(f"  workers={k:2d}  bottleneck={bottleneck:10.1f}  "
+              f"speedup={speedup:5.2f}x")
+    # Monotone non-increasing bottleneck; real scaling by 8 workers.
+    bottlenecks = [row[1] for row in rows]
+    assert all(b2 <= b1 + 1e-9 for b1, b2 in zip(bottlenecks, bottlenecks[1:]))
+    assert rows[3][2] >= 3.0  # >=3x speedup at 8 workers

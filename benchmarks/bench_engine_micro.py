@@ -1,0 +1,53 @@
+"""Microbenchmarks of the hot engine paths (true pytest-benchmark timings)."""
+
+import numpy as np
+
+from repro.circuits import Circuit
+from repro.qoc.fidelity import infidelity_and_gradient
+from repro.qoc.grape import run_grape
+from repro.qoc.hamiltonian import ControlModel
+from repro.qoc.weyl import weyl_coordinates
+from repro.utils.config import RunConfig
+from repro.utils.linalg import random_unitary
+from repro.utils.rng import derive_rng
+
+
+def test_gradient_evaluation_speed(benchmark):
+    """One cost+gradient evaluation on a 2-qubit, 24-slice pulse."""
+    model = ControlModel(2)
+    rng = derive_rng("bench-grad")
+    amps = rng.uniform(-0.05, 0.05, size=(24, model.n_controls))
+    target = Circuit(2).add("cx", 0, 1).unitary()
+    cost, grad = benchmark(
+        infidelity_and_gradient, amps, model, target, model.physics.dt
+    )
+    assert grad.shape == amps.shape
+
+
+def test_grape_cnot_solve_speed(benchmark):
+    """Full GRAPE solve of a CNOT at fixed latency."""
+    model = ControlModel(2)
+    target = Circuit(2).add("cx", 0, 1).unitary()
+    cfg = RunConfig(max_iterations=300, time_budget_s=60.0)
+    result = benchmark.pedantic(
+        run_grape, args=(target, model, 24, cfg), rounds=3, iterations=1
+    )
+    assert result.converged
+
+
+def test_weyl_coordinate_speed(benchmark):
+    rng = derive_rng("bench-weyl")
+    u = random_unitary(4, rng)
+    coords = benchmark(weyl_coordinates, u)
+    assert len(coords) == 3
+
+
+def test_grouping_speed(benchmark):
+    """Algorithms 1+2 on a 1000-gate program."""
+    from repro.grouping import group_circuit, make_policy
+    from repro.workloads import build_named
+
+    circuit = build_named("f2")
+    policy = make_policy("map2b4l")
+    groups = benchmark(group_circuit, circuit, policy)
+    assert len(groups) > 100

@@ -1,0 +1,13 @@
+"""Fig 11: crosstalk-metric reduction from the extended mapping heuristic
+(paper: average 17.6%, decreases for most programs)."""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fig11_crosstalk_mapping
+
+
+def test_fig11(benchmark, show):
+    result = run_once(benchmark, fig11_crosstalk_mapping, n_programs=8)
+    show(result)
+    assert result.summary["mean_reduction_pct"] > 5.0
+    improved = sum(1 for row in result.rows() if row[3] > 0)
+    assert improved >= len(result.rows()) / 2  # most programs improve

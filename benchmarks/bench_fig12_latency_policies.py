@@ -1,0 +1,22 @@
+"""Fig 12: latency reduction of the six policies on the six programs
+(paper: mostly 1.2x-2.6x; map2b4l is the chosen policy)."""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fig12_latency_policies
+
+
+def test_fig12(benchmark, show):
+    result = run_once(benchmark, fig12_latency_policies)
+    show(result)
+    s = result.summary
+    # Reductions land in/near the paper's band for every policy.
+    for policy in ("map2b2l", "map2b3l", "map2b4l",
+                   "swap2b2l", "swap2b3l", "swap2b4l"):
+        assert 1.2 <= s[f"mean_reduction_{policy}"] <= 3.5, policy
+    # More layers per group monotonically helps within each family.
+    assert s["mean_reduction_map2b4l"] >= s["mean_reduction_map2b3l"]
+    assert s["mean_reduction_map2b3l"] >= s["mean_reduction_map2b2l"]
+    assert s["mean_reduction_swap2b4l"] >= s["mean_reduction_swap2b2l"]
+    # Most-frequent-group re-optimization never hurts (red vs blue bars).
+    for row in result.rows():
+        assert row[3] >= row[2] - 1e-9

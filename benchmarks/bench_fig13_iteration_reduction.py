@@ -1,0 +1,39 @@
+"""Fig 13: per-program iteration reduction for each similarity function
+(paper: up to ~28% reduction; the inverse function hurts)."""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fig13_per_program_iteration_reduction
+from repro.core.similarity import SIMILARITY_NAMES
+
+
+def test_fig13_model(benchmark, show):
+    result = run_once(
+        benchmark, fig13_per_program_iteration_reduction, mode="model"
+    )
+    show(result)
+    assert len(result.rows()) == 7  # 6 programs + the profiled category
+    fid_col = 1 + SIMILARITY_NAMES.index("fidelity1")
+    inv_col = 1 + SIMILARITY_NAMES.index("inverse_fidelity")
+    for row in result.rows():
+        assert row[fid_col] > row[inv_col], row[0]
+    assert 5.0 <= result.summary["max_reduction_pct"] <= 60.0
+
+
+def test_fig13_grape_sample(benchmark, show):
+    """One program with the real optimizer, to anchor the model numbers."""
+    from repro.utils.config import RunConfig
+    from repro.workloads import build_named
+
+    result = run_once(
+        benchmark,
+        fig13_per_program_iteration_reduction,
+        mode="grape",
+        programs=[build_named("4gt4-v0")],
+        n_groups_cap=10,
+        run=RunConfig(max_iterations=200, time_budget_s=30.0),
+    )
+    show(result)
+    fid_col = 1 + SIMILARITY_NAMES.index("fidelity1")
+    inv_col = 1 + SIMILARITY_NAMES.index("inverse_fidelity")
+    for row in result.rows():
+        assert row[fid_col] > row[inv_col]

@@ -1,0 +1,19 @@
+"""Fig 14: the number of distinct 2b4l groups grows sublinearly with the
+number of gates ("much slower than linearly, though not strictly
+logarithmic")."""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fig14_group_growth
+
+
+def test_fig14(benchmark, show):
+    result = run_once(benchmark, fig14_group_growth, n_programs=24)
+    show(result)
+    # Log-log slope < 1: sublinear growth of distinct groups.
+    assert result.summary["loglog_slope"] < 0.95
+    assert result.summary["loglog_slope"] > 0.0
+    # Larger programs have *lower* unique-per-gate density on average.
+    rows = sorted(result.rows(), key=lambda r: r[1])
+    small_density = sum(r[4] for r in rows[:6]) / 6
+    large_density = sum(r[4] for r in rows[-6:]) / 6
+    assert large_density < small_density

@@ -1,0 +1,28 @@
+"""Fig 15 / headline numbers: AccQOC latency reduction 2.43x vs brute-force
+QOC 3.01x, at a 9.88x compile-time speedup over standard per-group
+compilation."""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fig15_accqoc_vs_brute
+from repro.analysis.reporting import paper_vs_measured
+
+
+def test_fig15(benchmark, show):
+    result = run_once(benchmark, fig15_accqoc_vs_brute)
+    show(result)
+    s = result.summary
+    print(paper_vs_measured("AccQOC latency reduction",
+                            s["paper_accqoc_reduction"],
+                            s["mean_accqoc_reduction"], unit="x"))
+    print(paper_vs_measured("brute-force latency reduction",
+                            s["paper_brute_reduction"],
+                            s["mean_brute_reduction"], unit="x"))
+    print(paper_vs_measured("compile speedup",
+                            s["paper_compile_speedup"],
+                            s["mean_compile_speedup"], unit="x"))
+    # Shape: brute force wins on latency, AccQOC nearly matches it while
+    # compiling an order of magnitude faster.
+    assert 2.0 <= s["mean_accqoc_reduction"] <= 3.2
+    assert s["mean_brute_reduction"] > s["mean_accqoc_reduction"] * 0.95
+    assert s["mean_compile_speedup"] >= 4.0
+    assert s["mean_accqoc_reduction"] >= 0.75 * s["mean_brute_reduction"]

@@ -1,0 +1,14 @@
+"""Fig 5: CNOT error rates, isolated vs with a nearby parallel CNOT."""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fig5_crosstalk_error
+
+
+def test_fig5(benchmark, show):
+    result = run_once(benchmark, fig5_crosstalk_error)
+    show(result)
+    # Paper: ~20% higher error rate under crosstalk, on six qubit pairs.
+    assert len(result.rows()) == 6
+    assert 10.0 <= result.summary["mean_inflation_pct"] <= 35.0
+    for row in result.rows():
+        assert row[2] > row[1]  # with-crosstalk error always worse

@@ -1,0 +1,14 @@
+"""Fig 7 / Sec VI-F: coverage under map2b4l (paper average 89.7%)."""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fig7_coverage
+
+
+def test_fig7(benchmark, show):
+    result = run_once(benchmark, fig7_coverage, n_suite=30, n_eval=7)
+    show(result)
+    # Profiling one third of the suite covers the lion's share of held-out
+    # programs' groups.
+    assert result.summary["mean_coverage_pct"] >= 70.0
+    for row in result.rows():
+        assert row[3] >= 50.0  # every program mostly covered

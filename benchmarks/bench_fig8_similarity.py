@@ -1,0 +1,35 @@
+"""Fig 8: iteration reduction per similarity function (real GRAPE).
+
+The paper's qualitative result: the fidelity-style functions accelerate
+training the most, and the deliberately-inverted function *increases*
+iterations.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fig8_similarity_iteration_reduction
+from repro.utils.config import RunConfig
+
+
+def test_fig8_grape(benchmark, show):
+    result = run_once(
+        benchmark,
+        fig8_similarity_iteration_reduction,
+        mode="grape",
+        n_groups=20,
+        run=RunConfig(max_iterations=200, time_budget_s=30.0),
+    )
+    show(result)
+    s = result.summary
+    assert s["reduction_pct_fidelity1"] > 0
+    assert s["reduction_pct_l2"] > 0
+    assert s["reduction_pct_inverse_fidelity"] < 0
+    assert s["reduction_pct_fidelity1"] > s["reduction_pct_inverse_fidelity"]
+
+
+def test_fig8_model(benchmark, show):
+    result = run_once(
+        benchmark, fig8_similarity_iteration_reduction, mode="model", n_groups=32
+    )
+    show(result)
+    s = result.summary
+    assert s["reduction_pct_fidelity1"] > 0 > s["reduction_pct_inverse_fidelity"]

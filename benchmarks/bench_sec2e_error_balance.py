@@ -1,0 +1,13 @@
+"""Sec II-E: coherence error per CX is comparable to the gate error
+(1.69e-2 vs 2.46e-2 on Melbourne constants)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import sec2e_numbers
+
+
+def test_sec2e(benchmark, show):
+    result = run_once(benchmark, sec2e_numbers)
+    show(result)
+    assert result.summary["coherence_error"] == pytest.approx(1.69e-2, rel=0.01)

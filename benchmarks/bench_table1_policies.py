@@ -1,0 +1,13 @@
+"""Table I: the six grouping policies."""
+
+from benchmarks.conftest import run_once
+from repro.analysis import table1_policies
+
+
+def test_table1(benchmark, show):
+    result = run_once(benchmark, table1_policies)
+    show(result)
+    rows = result.rows()
+    assert len(rows) == 6
+    assert {row[2] for row in rows} == {2}  # all 2-qubit policies
+    assert sorted({row[3] for row in rows}) == [2, 3, 4]

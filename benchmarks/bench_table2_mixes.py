@@ -1,0 +1,15 @@
+"""Table II: instruction mixes of the benchmark programs."""
+
+from benchmarks.conftest import run_once
+from repro.analysis import table2_instruction_mixes
+
+
+def test_table2(benchmark, show):
+    result = run_once(benchmark, table2_instruction_mixes)
+    show(result)
+    rows = {(r[0], r[1]): r[2:] for r in result.rows()}
+    # The Toffoli-network stand-ins match the paper's counts exactly.
+    for name in ("4gt4-v0", "cm152a", "ex2", "f2"):
+        assert rows[(name, "ours")] == rows[(name, "paper")], name
+    # Suite average dominated by cx, as in the paper ('all' row: cx 45%).
+    assert result.summary["avg_pct_cx"] > 30.0

@@ -1,0 +1,32 @@
+"""Benchmark harness helpers.
+
+Each bench regenerates one paper table/figure, prints the paper-style rows,
+and asserts the qualitative shape (who wins, roughly by how much). Heavy
+experiment drivers run once per bench (pedantic mode) — the timing value
+reported by pytest-benchmark is the experiment's end-to-end cost.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show():
+    """Print an ExperimentResult as a paper-style ASCII table."""
+    from repro.analysis.reporting import ascii_table
+
+    def _show(result):
+        print()
+        print(ascii_table(result.headers, result.rows(), result.name))
+        if result.summary:
+            for key, value in result.summary.items():
+                print(f"  {key}: {value:.4g}")
+        return result
+
+    return _show

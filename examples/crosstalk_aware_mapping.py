@@ -1,0 +1,44 @@
+"""Crosstalk-aware qubit mapping (paper Sec IV-A, Fig 11).
+
+The extended A* heuristic adds an indicator penalty for parallel CNOTs that
+land too close on the device, and the mapper explores several candidate
+initial layouts, keeping the one with the lowest close-CNOT-pair metric.
+This example maps a few benchmark programs onto IBM Q Melbourne with and
+without the extension and prints the metric and the estimated fidelity
+impact from the synthetic calibration data.
+
+Run:  python examples/crosstalk_aware_mapping.py
+"""
+
+from repro import AStarMapper, crosstalk_metric, melbourne
+from repro.errors import melbourne_calibration
+from repro.mapping.swaps import decompose_swaps
+from repro.workloads import build_named
+
+
+def main() -> None:
+    topology = melbourne()
+    calibration = melbourne_calibration()
+    inflation = calibration.mean_inflation()
+    print(f"device: {topology.name}, mean crosstalk error inflation "
+          f"{inflation:.0%} (paper: ~20%)")
+    print(f"\n{'program':>10} | {'plain':>6} | {'aware':>6} | {'reduction':>9}")
+    print("-" * 42)
+    total_plain = total_aware = 0
+    for name in ("4gt4-v0", "ex2", "adder_4", "gray_10", "hwb_6"):
+        native = build_named(name).decompose_to_native()
+        plain = AStarMapper(topology, crosstalk_aware=False).map_circuit(native)
+        aware = AStarMapper(topology, crosstalk_aware=True).map_circuit(native)
+        m_plain = crosstalk_metric(decompose_swaps(plain.circuit), topology)
+        m_aware = crosstalk_metric(decompose_swaps(aware.circuit), topology)
+        total_plain += m_plain
+        total_aware += m_aware
+        reduction = 100.0 * (1 - m_aware / m_plain) if m_plain else 0.0
+        print(f"{name:>10} | {m_plain:6d} | {m_aware:6d} | {reduction:8.1f}%")
+    overall = 100.0 * (1 - total_aware / total_plain)
+    print(f"\noverall close-CNOT-pair reduction: {overall:.1f}% "
+          "(paper average: 17.6%)")
+
+
+if __name__ == "__main__":
+    main()

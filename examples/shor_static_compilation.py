@@ -1,0 +1,68 @@
+"""Static (non-variational) workloads: where AccQOC beats prior art.
+
+Partial compilation (Gokhale et al.) only accelerates *variational*
+programs, whose groups differ solely by rotation angles. A Shor-style static
+program — modular arithmetic plus a QFT — decomposes into fixed groups that
+run once; AccQOC accelerates exactly these via pre-compiled coverage plus
+MST-ordered warm starts (paper Sec I, Sec II-G).
+
+This example builds a Shor-flavoured circuit (ripple-carry adder stages
+followed by a QFT), compiles it, and prints the coverage/latency breakdown,
+then shows the compile-cost comparison against standard per-group QOC.
+
+Run:  python examples/shor_static_compilation.py
+"""
+
+from repro import AccQOC, Circuit, PipelineConfig, qft, small_suite
+from repro.workloads import cuccaro_adder
+
+
+def shor_style_program(n_bits: int = 3) -> Circuit:
+    """Adder stages + QFT on the same register block (Shor's two phases)."""
+    adder = cuccaro_adder(n_bits)
+    n = adder.n_qubits
+    program = Circuit(n, name=f"shor_style_{n_bits}")
+    program.extend(adder.gates)
+    # Second adder stage (modular-exponentiation flavour).
+    program.extend(adder.gates)
+    # Fourier stage on the B register.
+    fourier = qft(n_bits)
+    offset = 1 + n_bits
+    program.extend(g.remap({q: q + offset for q in range(n_bits)})
+                   for g in fourier)
+    return program
+
+
+def main() -> None:
+    acc = AccQOC(PipelineConfig(policy_name="map2b4l"))
+    print("pre-compiling library from the benchmark suite...")
+    acc.precompile(small_suite(8))
+
+    program = shor_style_program(3)
+    print(f"\nprogram: {program.name}, {len(program)} gates, "
+          f"{program.n_qubits} qubits")
+    result = acc.compile(program)
+
+    print(f"coverage          : {result.coverage_rate:.1%} "
+          "(these groups cost nothing to compile)")
+    print(f"uncovered unique  : {len(result.coverage.uncovered_unique)}")
+    print(f"dynamic iterations: {result.compile_iterations}")
+
+    # Standard compilation cost: every unique group from scratch.
+    standard = sum(
+        acc.engine.iterations.base(g.n_qubits)
+        for g in result.dedup.unique
+        if not acc.engine.estimator.is_virtual_diagonal(g.matrix())
+    )
+    print(f"standard cost     : {standard:.0f} iterations")
+    if result.compile_iterations == 0:
+        print("compile speedup   : fully covered — the whole program reuses "
+              "pre-compiled pulses (paper reports 9.88x at ~90% coverage)")
+    else:
+        speedup = standard / result.compile_iterations
+        print(f"compile speedup   : {speedup:.1f}x (paper: 9.88x)")
+    print(f"latency reduction : {result.latency_reduction:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Variational workloads with arbitrary rotation angles.
+
+AccQOC "will treat the groups with different rotation angles simply as
+different static groups and accelerate the pulse generation by keeping
+previously generated pulses and selecting the most similar group's pulse as
+the initial condition" (paper Sec I). This example runs *real GRAPE* over a
+VQE-style ansatz group at a sweep of angles: each new angle warm-starts from
+the most similar previously-solved pulse, and the iteration count drops
+sharply after the first few solves.
+
+Run:  python examples/vqe_arbitrary_angles.py     (~1 minute)
+"""
+
+import numpy as np
+
+from repro.circuits.gates import Gate
+from repro.core.engines import GrapeEngine
+from repro.core.similarity import fidelity1_distance
+from repro.grouping import GateGroup
+from repro.utils.config import RunConfig
+
+
+def ansatz_group(theta: float) -> GateGroup:
+    """One VQE ansatz block: entangler + parameterized rotation."""
+    return GateGroup(
+        gates=[
+            Gate("cx", (0, 1)),
+            Gate("rz", (1,), (theta,)),
+            Gate("cx", (0, 1)),
+            Gate("u3", (0,), (theta / 2, 0.0, 0.0)),
+        ]
+    )
+
+
+def main() -> None:
+    # Demo budget: 1e-3 fidelity target keeps each solve at seconds; the
+    # library default (1e-4, as in the paper) works too, just slower.
+    engine = GrapeEngine(
+        run=RunConfig(
+            max_iterations=600, time_budget_s=60.0, target_infidelity=1e-3
+        )
+    )
+    rng = np.random.default_rng(7)
+    angles = np.round(rng.uniform(0.1, 3.0, size=8), 3)
+
+    # Fix the pulse length per group from the estimator so cold and warm
+    # solves are directly comparable (no binary-search noise).
+    def steps_for(group):
+        latency = engine.estimator.group_latency(group)
+        return max(int(np.ceil(2.5 * latency / engine.physics.dt)) + 4, 8)
+
+    solved = []  # (group, pulse)
+    total_cold = total_warm = 0
+    print(f"{'theta':>7} | {'seed':>12} | {'cold iters':>10} | "
+          f"{'warm iters':>10}")
+    print("-" * 50)
+    for i, theta in enumerate(angles):
+        group = ansatz_group(float(theta))
+        n_steps = steps_for(group)
+        cold = engine.compile_single_solve(group, n_steps, seed_tag=f"cold:{i}")
+        seed_label, warm_pulse = "cold", None
+        if solved:
+            distances = [
+                (fidelity1_distance(group.matrix(), g.matrix()), g, p)
+                for g, p in solved
+            ]
+            _, seed_group, pulse = min(distances, key=lambda t: t[0])
+            seed_label = f"theta={seed_group.gates[1].params[0]:.3f}"
+            warm_pulse = pulse
+        warm = engine.compile_single_solve(
+            group, n_steps, warm_pulse=warm_pulse, seed_tag=f"cold:{i}"
+        )
+        solved.append((group, warm.pulse))
+        total_cold += cold.iterations
+        total_warm += warm.iterations
+        print(f"{theta:7.3f} | {seed_label:>12} | {cold.iterations:10d} | "
+              f"{warm.iterations:10d}")
+
+    reduction = 100.0 * (1 - total_warm / total_cold)
+    print(f"\ntotal: {total_cold} cold vs {total_warm} warm iterations "
+          f"({reduction:.0f}% reduction)")
+    print("Each new angle reuses the closest cached pulse — this is AccQOC's")
+    print("answer to partial compilation, without per-family hyperparameters.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — a full reproduction of AccQOC (Cheng, Deng, Qian; ISCA 2020).
+
+AccQOC accelerates quantum-optimal-control pulse generation with static
+pre-compilation of frequent gate groups and MST-ordered, warm-started GRAPE
+for the rest. This package implements the complete stack from scratch:
+circuit IR and QASM, crosstalk-aware A* qubit mapping, the 2bnl grouping
+policies, a GRAPE engine with exact gradients and latency binary search,
+similarity-graph/MST acceleration, balanced tree partitioning for parallel
+workers, the benchmark suite, and one experiment driver per paper figure.
+
+Quickstart::
+
+    from repro import AccQOC, PipelineConfig, small_suite, build_named
+
+    acc = AccQOC(PipelineConfig(policy_name="map2b4l"))
+    acc.precompile(small_suite(8))
+    report = acc.compile(build_named("ex2"))
+    print(report.latency_reduction, report.coverage_rate)
+"""
+
+from repro.circuits import Circuit, Gate, gate, parse_qasm, to_qasm
+from repro.core import (
+    AccQOC,
+    AcceleratedCompiler,
+    CompiledProgram,
+    GrapeEngine,
+    ModelEngine,
+    PulseLibrary,
+    StaticPrecompiler,
+    brute_force_compile,
+    build_similarity_graph,
+    prim_compile_sequence,
+)
+from repro.grouping import ALL_POLICIES, GateGroup, group_circuit, make_policy
+from repro.mapping import AStarMapper, crosstalk_metric, melbourne
+from repro.qoc import (
+    ControlModel,
+    LatencyEstimator,
+    Pulse,
+    binary_search_latency,
+    run_grape,
+    weyl_coordinates,
+)
+from repro.utils.config import PhysicsConfig, PipelineConfig, RunConfig
+from repro.workloads import build_named, evaluation_programs, full_suite, qft, small_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "gate",
+    "parse_qasm",
+    "to_qasm",
+    "AccQOC",
+    "AcceleratedCompiler",
+    "CompiledProgram",
+    "GrapeEngine",
+    "ModelEngine",
+    "PulseLibrary",
+    "StaticPrecompiler",
+    "brute_force_compile",
+    "build_similarity_graph",
+    "prim_compile_sequence",
+    "ALL_POLICIES",
+    "GateGroup",
+    "group_circuit",
+    "make_policy",
+    "AStarMapper",
+    "crosstalk_metric",
+    "melbourne",
+    "ControlModel",
+    "LatencyEstimator",
+    "Pulse",
+    "binary_search_latency",
+    "run_grape",
+    "weyl_coordinates",
+    "PhysicsConfig",
+    "PipelineConfig",
+    "RunConfig",
+    "build_named",
+    "evaluation_programs",
+    "full_suite",
+    "qft",
+    "small_suite",
+    "__version__",
+]

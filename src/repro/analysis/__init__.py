@@ -1,0 +1,35 @@
+"""Experiment drivers (one per paper table/figure) and ASCII reporting."""
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    fig5_crosstalk_error,
+    fig7_coverage,
+    fig8_similarity_iteration_reduction,
+    fig11_crosstalk_mapping,
+    fig12_latency_policies,
+    fig13_per_program_iteration_reduction,
+    fig14_group_growth,
+    fig15_accqoc_vs_brute,
+    sec2e_numbers,
+    table1_policies,
+    table2_instruction_mixes,
+)
+from repro.analysis.reporting import ascii_table, format_cell, paper_vs_measured
+
+__all__ = [
+    "ExperimentResult",
+    "fig5_crosstalk_error",
+    "fig7_coverage",
+    "fig8_similarity_iteration_reduction",
+    "fig11_crosstalk_mapping",
+    "fig12_latency_policies",
+    "fig13_per_program_iteration_reduction",
+    "fig14_group_growth",
+    "fig15_accqoc_vs_brute",
+    "sec2e_numbers",
+    "table1_policies",
+    "table2_instruction_mixes",
+    "ascii_table",
+    "format_cell",
+    "paper_vs_measured",
+]

@@ -1,0 +1,549 @@
+"""One experiment driver per table/figure of the paper's evaluation.
+
+Every driver returns a small result object with ``headers`` / ``rows()`` for
+the benchmark harness to print, plus the scalar summaries EXPERIMENTS.md
+records. Drivers accept an ``engine`` argument: the calibrated ModelEngine
+(default; seconds per experiment) or the real GrapeEngine (for the
+iteration-count figures, minutes at the default sample sizes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.core.bruteforce import brute_force_compile
+from repro.core.cache import PulseLibrary
+from repro.core.dynamic import AcceleratedCompiler
+from repro.core.engines import GrapeEngine, IterationModel, ModelEngine
+from repro.core.pipeline import AccQOC
+from repro.core.similarity import SIMILARITY_NAMES
+from repro.errors.calibration import fig5_pairs, melbourne_calibration
+from repro.errors.fidelity_model import sec2e_error_balance
+from repro.grouping.dedup import dedupe_groups
+from repro.grouping.policies import ALL_POLICIES, make_policy
+from repro.mapping.astar import AStarMapper
+from repro.mapping.crosstalk import crosstalk_metric
+from repro.mapping.swaps import decompose_swaps
+from repro.mapping.topology import topology_for
+from repro.utils.config import PipelineConfig, RunConfig
+from repro.workloads.mixes import (
+    PAPER_SUITE_AVERAGE,
+    PAPER_TABLE2,
+    TABLE2_COLUMNS,
+    instruction_mix,
+    suite_average_percentages,
+)
+from repro.workloads.suite import evaluation_programs, full_suite, small_suite
+
+
+# --------------------------------------------------------------------- common
+def _default_pipeline(policy: str = "map2b4l") -> AccQOC:
+    return AccQOC(PipelineConfig(policy_name=policy))
+
+
+@dataclass
+class ExperimentResult:
+    """Headers + rows + named summary scalars."""
+
+    name: str
+    headers: List[str]
+    _rows: List[List] = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    def rows(self) -> List[List]:
+        return list(self._rows)
+
+    def add_row(self, row: Sequence) -> None:
+        self._rows.append(list(row))
+
+
+# ------------------------------------------------------------------- Table I
+def table1_policies() -> ExperimentResult:
+    result = ExperimentResult(
+        name="Table I: grouping policies",
+        headers=["policy", "swap handling", "# qubits", "# layers"],
+    )
+    for policy in ALL_POLICIES:
+        result.add_row(
+            [policy.label, policy.swap_handling, policy.bit_constraint,
+             policy.layer_constraint]
+        )
+    return result
+
+
+# ------------------------------------------------------------------ Table II
+def table2_instruction_mixes() -> ExperimentResult:
+    result = ExperimentResult(
+        name="Table II: instruction mixes",
+        headers=["program", "source"] + list(TABLE2_COLUMNS),
+    )
+    from repro.workloads.revlib_like import build_named
+
+    for name, paper_counts in PAPER_TABLE2.items():
+        circuit = build_named(name)
+        ours = instruction_mix(circuit)
+        result.add_row([name, "ours"] + [ours.get(c, 0) for c in TABLE2_COLUMNS])
+        result.add_row(
+            [name, "paper"] + [paper_counts[c] for c in TABLE2_COLUMNS]
+        )
+    suite = full_suite(40)  # representative slice of the 159 programs
+    ours_avg = suite_average_percentages(suite)
+    result.add_row(
+        ["all (%)", "ours"] + [round(ours_avg[c], 1) for c in TABLE2_COLUMNS]
+    )
+    result.add_row(
+        ["all (%)", "paper"] + [PAPER_SUITE_AVERAGE[c] for c in TABLE2_COLUMNS]
+    )
+    for col in TABLE2_COLUMNS:
+        result.summary[f"avg_pct_{col}"] = ours_avg[col]
+    return result
+
+
+# --------------------------------------------------------------------- Fig 5
+def fig5_crosstalk_error(seed: int = 20200301) -> ExperimentResult:
+    calibration = melbourne_calibration(seed)
+    result = ExperimentResult(
+        name="Fig 5: CNOT error rate with/without nearby CNOT",
+        headers=["pair", "isolated error", "with crosstalk", "inflation %"],
+    )
+    pairs = fig5_pairs(calibration)
+    for entry in pairs:
+        result.add_row(
+            [
+                f"{entry.pair[0]}-{entry.pair[1]}",
+                entry.error_isolated,
+                entry.error_with_crosstalk,
+                100.0 * entry.inflation,
+            ]
+        )
+    result.summary["mean_inflation_pct"] = 100.0 * float(
+        np.mean([p.inflation for p in pairs])
+    )
+    result.summary["paper_inflation_pct"] = 20.0
+    return result
+
+
+# --------------------------------------------------------------------- Fig 7
+def fig7_coverage(
+    n_suite: int = 30, n_eval: int = 7, seed: int = 7
+) -> ExperimentResult:
+    """Coverage under map2b4l after profiling one third of the suite."""
+    suite = full_suite(n_suite, seed)
+    acc = _default_pipeline()
+    profile = acc.select_profile_programs(suite)
+    profile_names = {p.name for p in profile}
+    acc.precompile(suite)  # precompile() itself samples one third
+    held_out = [p for p in suite if p.name not in profile_names][:n_eval]
+    result = ExperimentResult(
+        name="Fig 7: coverage under map2b4l",
+        headers=["program", "# groups", "# covered", "coverage %"],
+    )
+    rates = []
+    for program in held_out:
+        _, groups = acc.groups_of(program)
+        report = acc.library.coverage(groups)
+        rates.append(report.rate)
+        result.add_row(
+            [program.name, report.n_groups, report.n_covered, 100.0 * report.rate]
+        )
+    result.summary["mean_coverage_pct"] = 100.0 * float(np.mean(rates))
+    result.summary["paper_mean_coverage_pct"] = 89.7
+    return result
+
+
+# --------------------------------------------------------------------- Fig 8
+def fig8_similarity_iteration_reduction(
+    mode: str = "model",
+    n_groups: int = 24,
+    n_profile_programs: int = 4,
+    run: Optional[RunConfig] = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Mean iteration reduction per similarity function over the category.
+
+    ``mode="grape"`` measures real optimizer iterations (minutes);
+    ``mode="model"`` uses the calibrated iteration model (seconds).
+    """
+    acc = _default_pipeline()
+    dedup = acc.profile_groups(small_suite(n_profile_programs, seed))
+    estimator_engine = acc.engine
+    groups = [
+        g
+        for g in dedup.unique
+        if not estimator_engine.estimator.is_virtual_diagonal(g.matrix())
+    ][:n_groups]
+
+    result = ExperimentResult(
+        name="Fig 8: iteration reduction by similarity function",
+        headers=["similarity", "warm iters", "cold iters", "reduction %"],
+    )
+    if mode == "grape":
+        engine = GrapeEngine(run=run or RunConfig().fast())
+        cold_total, cold_by_group = _grape_cold_iterations(engine, groups)
+        for name in SIMILARITY_NAMES:
+            warm_total = _grape_warm_iterations(engine, groups, name)
+            reduction = 100.0 * (1.0 - warm_total / max(cold_total, 1))
+            result.add_row([name, warm_total, cold_total, reduction])
+            result.summary[f"reduction_pct_{name}"] = reduction
+    else:
+        engine = ModelEngine()
+        cold_total = sum(
+            engine.compile_group(g, seed_tag=f"cold:{i}").iterations
+            for i, g in enumerate(groups)
+        )
+        for name in SIMILARITY_NAMES:
+            compiler = AcceleratedCompiler(engine, similarity=name)
+            report = compiler.compile_uncovered(groups)
+            reduction = 100.0 * (1.0 - report.total_iterations / max(cold_total, 1))
+            result.add_row(
+                [name, report.total_iterations, cold_total, reduction]
+            )
+            result.summary[f"reduction_pct_{name}"] = reduction
+    result.summary["paper_best_reduction_pct"] = 28.0
+    return result
+
+
+def _identity_start_pulse(engine: GrapeEngine, group, steps: int, index: int):
+    """The identity matrix's pulse: all-(near-)zero amplitudes.
+
+    "When a new group is not close enough to any groups with pulse
+    generated, the training of the new group will start with [the] identity
+    matrix" (Sec V-C) — and standard compilation trains every group this
+    way. A whisper of seeded noise leaves the zero stationary point.
+    """
+    import numpy as np
+
+    from repro.qoc.pulse import Pulse
+
+    model = engine.model_for(group.n_qubits)
+    rng = np.random.default_rng(1234 + index)
+    return Pulse(
+        0.002
+        * model.bounds()[None, :]
+        * rng.uniform(-1, 1, size=(steps, model.n_controls)),
+        dt=engine.physics.dt,
+        control_labels=model.labels,
+        n_qubits=group.n_qubits,
+    )
+
+
+def _grape_cold_iterations(engine: GrapeEngine, groups) -> Tuple[int, List[int]]:
+    per_group = []
+    for index, group in enumerate(groups):
+        steps = _steps_for(engine, group)
+        record = engine.compile_single_solve(
+            group,
+            steps,
+            warm_pulse=_identity_start_pulse(engine, group, steps, index),
+            seed_tag=f"cold:{index}",
+        )
+        per_group.append(record.iterations)
+    return sum(per_group), per_group
+
+
+def _grape_warm_iterations(engine: GrapeEngine, groups, similarity: str) -> int:
+    from repro.core.simgraph import (
+        IDENTITY_VERTEX,
+        build_similarity_graph,
+        prim_compile_sequence,
+    )
+
+    graph = build_similarity_graph(groups, similarity)
+    sequence = prim_compile_sequence(graph)
+    pulses: Dict[int, Optional[object]] = {}
+    total = 0
+    for index in sequence.order:
+        group = groups[index]
+        steps = _steps_for(engine, group)
+        parent = sequence.parent[index]
+        if parent != IDENTITY_VERTEX and pulses.get(parent) is not None:
+            warm = pulses[parent]
+        else:
+            # Identity-rooted: same start as the cold baseline, so the
+            # similarity functions differ only through parent choices.
+            warm = _identity_start_pulse(engine, group, steps, index)
+        record = engine.compile_single_solve(
+            group, steps, warm_pulse=warm, seed_tag=f"warm:{index}"
+        )
+        pulses[index] = record.pulse
+        total += record.iterations
+    return total
+
+
+def _steps_for(engine: GrapeEngine, group) -> int:
+    latency = engine.estimator.group_latency(group)
+    return max(int(math.ceil(1.3 * latency / engine.physics.dt)), 4)
+
+
+# -------------------------------------------------------------------- Fig 11
+def fig11_crosstalk_mapping(
+    n_programs: int = 8, crosstalk_weight: float = 1.0, seed: int = 7
+) -> ExperimentResult:
+    """Crosstalk metric before/after the extended mapping heuristic."""
+    programs = small_suite(n_programs, seed)
+    result = ExperimentResult(
+        name="Fig 11: crosstalk reduction from crosstalk-aware mapping",
+        headers=["program", "baseline", "aware", "reduction %"],
+    )
+    reductions = []
+    for program in programs:
+        native = program.decompose_to_native()
+        topology = topology_for(native.n_qubits)
+        plain = AStarMapper(topology, crosstalk_aware=False).map_circuit(native)
+        aware = AStarMapper(
+            topology, crosstalk_aware=True, crosstalk_weight=crosstalk_weight
+        ).map_circuit(native)
+        metric_plain = crosstalk_metric(decompose_swaps(plain.circuit), topology)
+        metric_aware = crosstalk_metric(decompose_swaps(aware.circuit), topology)
+        reduction = (
+            100.0 * (1.0 - metric_aware / metric_plain) if metric_plain else 0.0
+        )
+        reductions.append(reduction)
+        result.add_row([program.name, metric_plain, metric_aware, reduction])
+    result.summary["mean_reduction_pct"] = float(np.mean(reductions))
+    result.summary["paper_mean_reduction_pct"] = 17.6
+    return result
+
+
+# -------------------------------------------------------------------- Fig 12
+def fig12_latency_policies(
+    policies: Optional[Sequence[str]] = None,
+    programs: Optional[Sequence[Circuit]] = None,
+    n_profile_programs: int = 8,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Latency reduction per (program, policy), with/without the
+    most-frequent-group re-optimization (Fig 12 red vs blue)."""
+    policy_names = list(policies or [p.label for p in ALL_POLICIES])
+    eval_programs = list(programs or evaluation_programs())
+    profile_set = small_suite(n_profile_programs, seed)
+    result = ExperimentResult(
+        name="Fig 12: latency reduction by policy",
+        headers=["program", "policy", "reduction (base)", "reduction (opt)"],
+    )
+    by_policy: Dict[str, List[float]] = {name: [] for name in policy_names}
+    for policy_name in policy_names:
+        base = AccQOC(
+            PipelineConfig(policy_name=policy_name, optimize_most_frequent=False)
+        )
+        base.precompile(profile_set)
+        opt = AccQOC(
+            PipelineConfig(policy_name=policy_name, optimize_most_frequent=True)
+        )
+        opt.precompile(profile_set)
+        for program in eval_programs:
+            reduction_base = base.compile(program).latency_reduction
+            reduction_opt = opt.compile(program).latency_reduction
+            by_policy[policy_name].append(reduction_opt)
+            result.add_row(
+                [program.name, policy_name, reduction_base, reduction_opt]
+            )
+    for policy_name, values in by_policy.items():
+        result.summary[f"mean_reduction_{policy_name}"] = float(np.mean(values))
+    result.summary["paper_band_low"] = 1.2
+    result.summary["paper_band_high"] = 2.6
+    return result
+
+
+# -------------------------------------------------------------------- Fig 13
+def fig13_per_program_iteration_reduction(
+    mode: str = "model",
+    programs: Optional[Sequence[Circuit]] = None,
+    n_groups_cap: int = 20,
+    run: Optional[RunConfig] = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Per-program iteration reduction for each similarity function.
+
+    The 7th 'program' is the profiled category itself, as in the paper.
+    """
+    eval_programs = list(programs or evaluation_programs())
+    acc = _default_pipeline()
+    category = acc.profile_groups(small_suite(4, seed))
+    workloads: List[Tuple[str, List]] = []
+    for program in eval_programs:
+        _, groups = acc.groups_of(program)
+        unique = dedupe_groups(groups).unique
+        nontrivial = [
+            g
+            for g in unique
+            if not acc.engine.estimator.is_virtual_diagonal(g.matrix())
+        ]
+        workloads.append((program.name, nontrivial[:n_groups_cap]))
+    workloads.append(
+        (
+            "profiled category",
+            [
+                g
+                for g in category.unique
+                if not acc.engine.estimator.is_virtual_diagonal(g.matrix())
+            ][:n_groups_cap],
+        )
+    )
+    result = ExperimentResult(
+        name="Fig 13: per-program iteration reduction",
+        headers=["program"] + SIMILARITY_NAMES,
+    )
+    best = 0.0
+    for name, groups in workloads:
+        row: List = [name]
+        for sim in SIMILARITY_NAMES:
+            if mode == "grape":
+                engine = GrapeEngine(run=run or RunConfig().fast())
+                cold, _ = _grape_cold_iterations(engine, groups)
+                warm = _grape_warm_iterations(engine, groups, sim)
+                reduction = 100.0 * (1.0 - warm / max(cold, 1))
+            else:
+                engine = ModelEngine()
+                cold = sum(
+                    engine.compile_group(g, seed_tag=f"c:{i}").iterations
+                    for i, g in enumerate(groups)
+                )
+                report = AcceleratedCompiler(engine, similarity=sim).compile_uncovered(
+                    groups
+                )
+                reduction = 100.0 * (1.0 - report.total_iterations / max(cold, 1))
+            best = max(best, reduction)
+            row.append(reduction)
+        result.add_row(row)
+    result.summary["max_reduction_pct"] = best
+    result.summary["paper_max_reduction_pct"] = 28.0
+    return result
+
+
+# -------------------------------------------------------------------- Fig 14
+def fig14_group_growth(n_programs: int = 24, seed: int = 7) -> ExperimentResult:
+    """# distinct 2b4l groups vs # gates: sublinear growth."""
+    suite = full_suite(n_programs, seed)
+    acc = _default_pipeline()
+    result = ExperimentResult(
+        name="Fig 14: group-count growth vs gate count",
+        headers=["program", "# gates", "# groups", "# unique", "unique/gates"],
+    )
+    points: List[Tuple[int, int]] = []
+    cumulative: set = set()
+    for program in sorted(suite, key=len):
+        front, groups = acc.groups_of(program)
+        unique = dedupe_groups(groups)
+        cumulative.update(g.key() for g in unique.unique)
+        n_gates = len(front.prepared)
+        points.append((n_gates, unique.n_unique))
+        result.add_row(
+            [
+                program.name,
+                n_gates,
+                len(groups),
+                unique.n_unique,
+                unique.n_unique / max(n_gates, 1),
+            ]
+        )
+    gates = np.array([p[0] for p in points], dtype=float)
+    uniques = np.array([p[1] for p in points], dtype=float)
+    # Fit unique ~ a * gates^b; b < 1 demonstrates sublinearity.
+    mask = (gates > 0) & (uniques > 0)
+    slope, _ = np.polyfit(np.log(gates[mask]), np.log(uniques[mask]), 1)
+    result.summary["loglog_slope"] = float(slope)
+    result.summary["cumulative_unique"] = float(len(cumulative))
+    return result
+
+
+# -------------------------------------------------------------------- Fig 15
+def fig15_accqoc_vs_brute(
+    programs: Optional[Sequence[Circuit]] = None,
+    n_profile_programs: int = 24,
+    seed: int = 7,
+) -> ExperimentResult:
+    """AccQOC vs brute-force QOC latency, and compile speedup vs standard
+    per-group compilation (the paper's 2.43x / 3.01x / 9.88x numbers).
+
+    The library is profiled on *held-out* suite programs (the evaluated
+    programs are not in the profiling set), so coverage — and therefore the
+    compile-time speedup — reflects genuine reuse, as in the paper.
+    """
+    from repro.workloads.arithmetic import cuccaro_adder
+    from repro.workloads.qft import gse, qft
+    from repro.workloads.revlib_like import random_suite_program
+
+    eval_programs = list(programs or evaluation_programs())
+    acc = _default_pipeline()
+    # Held-out profile set mirroring the suite's composition (reversible
+    # networks + QFT-family + arithmetic), none of the evaluated programs.
+    profile_set = [
+        random_suite_program(2000 + i, seed)
+        for i in range(max(n_profile_programs - 6, 1))
+    ] + [qft(8), qft(12), qft(14), gse(4, 4), cuccaro_adder(4), cuccaro_adder(3)]
+    acc.precompile(profile_set)
+    iteration_model = acc.engine.iterations
+    result = ExperimentResult(
+        name="Fig 15: AccQOC vs brute-force QOC",
+        headers=[
+            "program",
+            "AccQOC reduction",
+            "brute reduction",
+            "AccQOC iters",
+            "standard iters",
+            "compile speedup",
+        ],
+    )
+    acc_reductions, brute_reductions = [], []
+    total_standard, total_accqoc = 0.0, 0.0
+    for program in eval_programs:
+        compiled = acc.compile(program)
+        brute = brute_force_compile(
+            compiled.front_end.prepared, estimator=acc.engine.estimator
+        )
+        brute_reduction = compiled.gate_based_latency / brute.overall_latency
+        # Standard compilation: every unique group of the program, cold.
+        standard = sum(
+            iteration_model.base(g.n_qubits)
+            for g in compiled.dedup.unique
+            if not acc.engine.estimator.is_virtual_diagonal(g.matrix())
+        )
+        total_standard += standard
+        total_accqoc += compiled.compile_iterations
+        speedup = standard / max(compiled.compile_iterations, 1)
+        acc_reductions.append(compiled.latency_reduction)
+        brute_reductions.append(brute_reduction)
+        result.add_row(
+            [
+                program.name,
+                compiled.latency_reduction,
+                brute_reduction,
+                compiled.compile_iterations,
+                int(standard),
+                speedup if compiled.compile_iterations else float("inf"),
+            ]
+        )
+    result.summary["mean_accqoc_reduction"] = float(np.mean(acc_reductions))
+    result.summary["mean_brute_reduction"] = float(np.mean(brute_reductions))
+    # Aggregate ratio: fully-covered programs would make a per-program mean
+    # infinite; the paper reports one overall speedup.
+    result.summary["mean_compile_speedup"] = float(
+        total_standard / max(total_accqoc, 1.0)
+    )
+    result.summary["paper_accqoc_reduction"] = 2.43
+    result.summary["paper_brute_reduction"] = 3.01
+    result.summary["paper_compile_speedup"] = 9.88
+    return result
+
+
+# ------------------------------------------------------------------- Sec II-E
+def sec2e_numbers() -> ExperimentResult:
+    balance = sec2e_error_balance()
+    result = ExperimentResult(
+        name="Sec II-E: coherence vs gate error",
+        headers=["quantity", "value"],
+    )
+    result.add_row(["CX duration (ns)", balance.cx_time_ns])
+    result.add_row(["T1 (us)", balance.t1_us])
+    result.add_row(["coherence error / CX", balance.coherence_error_per_cx])
+    result.add_row(["gate error / CX", balance.gate_error_per_cx])
+    result.add_row(["comparable", balance.comparable])
+    result.summary["coherence_error"] = balance.coherence_error_per_cx
+    result.summary["paper_coherence_error"] = 1.69e-2
+    return result

@@ -1,0 +1,31 @@
+"""Circuit intermediate representation: gates, circuits, DAGs, QASM I/O."""
+
+from repro.circuits.canonical import canonical_key, canonical_representative, matrix_key
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDAG, critical_path_length
+from repro.circuits.optimize import simplification_stats, simplify
+from repro.circuits.gates import GATE_SPECS, NATIVE_GATES, Gate, decompose_gate, gate
+from repro.circuits.qasm import QasmError, parse_qasm, to_qasm
+from repro.circuits.unitary import group_unitary, local_qubit_order, permute_qubits
+
+__all__ = [
+    "Circuit",
+    "CircuitDAG",
+    "critical_path_length",
+    "simplify",
+    "simplification_stats",
+    "GATE_SPECS",
+    "NATIVE_GATES",
+    "Gate",
+    "gate",
+    "decompose_gate",
+    "QasmError",
+    "parse_qasm",
+    "to_qasm",
+    "group_unitary",
+    "local_qubit_order",
+    "permute_qubits",
+    "canonical_key",
+    "canonical_representative",
+    "matrix_key",
+]

@@ -1,0 +1,63 @@
+"""Canonical matrix keys for group de-duplication.
+
+The paper (Sec IV-C) de-duplicates groups "by calculating their corresponding
+matrices and eliminating duplicated ones", treating groups with permuted
+qubits but the same operation as duplicates. We additionally quotient out the
+global phase, which is unobservable and irrelevant to pulse reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.unitary import all_wire_permutations, permute_qubits
+from repro.utils.linalg import global_phase_normalize
+
+_DECIMALS = 6
+
+
+def matrix_key(matrix: np.ndarray, decimals: int = _DECIMALS) -> bytes:
+    """Hashable key of a single matrix modulo global phase.
+
+    Rounds after phase normalization so tiny numerical noise does not split
+    identical groups. ``+ 0.0`` folds ``-0.0`` into ``0.0`` so keys are stable.
+    """
+    normalized = global_phase_normalize(np.asarray(matrix, dtype=complex))
+    rounded = np.round(normalized, decimals) + 0.0
+    return rounded.tobytes()
+
+
+def canonical_key(matrix: np.ndarray, decimals: int = _DECIMALS) -> bytes:
+    """Key modulo global phase *and* wire permutation.
+
+    Takes the lexicographically smallest key over all wire permutations, so
+    e.g. CX(0,1) and CX(1,0) groups collapse together (the pulse is reused
+    with drive lines swapped).
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    k = int(np.log2(matrix.shape[0]))
+    best = None
+    for perm in all_wire_permutations(k):
+        key = matrix_key(permute_qubits(matrix, perm), decimals)
+        if best is None or key < best:
+            best = key
+    assert best is not None
+    return best
+
+
+def canonical_representative(matrix: np.ndarray,
+                             decimals: int = _DECIMALS) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Return (canonical matrix, permutation) achieving :func:`canonical_key`."""
+    matrix = np.asarray(matrix, dtype=complex)
+    k = int(np.log2(matrix.shape[0]))
+    best_key = None
+    best = (matrix, tuple(range(k)))
+    for perm in all_wire_permutations(k):
+        permuted = permute_qubits(matrix, perm)
+        key = matrix_key(permuted, decimals)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = (global_phase_normalize(permuted), perm)
+    return best

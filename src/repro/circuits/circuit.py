@@ -1,0 +1,196 @@
+"""Quantum circuit container: an ordered list of gates over n qubits."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.gates import Gate, decompose_gate
+from repro.utils.linalg import embed_unitary
+
+
+class Circuit:
+    """An n-qubit circuit, gates in program order.
+
+    The circuit is the unit the front end parses, the mapper rewrites and the
+    grouping policies partition. Program order is significant; parallelism is
+    recovered by the DAG layer.
+    """
+
+    def __init__(self, n_qubits: int, gates: Optional[Iterable[Gate]] = None,
+                 name: str = ""):
+        if n_qubits <= 0:
+            raise ValueError("n_qubits must be positive")
+        self.n_qubits = n_qubits
+        self.name = name
+        self._gates: List[Gate] = []
+        for g in gates or ():
+            self.append(g)
+
+    # ------------------------------------------------------------------ build
+    def append(self, g: Gate) -> "Circuit":
+        if any(q >= self.n_qubits for q in g.qubits):
+            raise ValueError(
+                f"gate {g} out of range for circuit of {self.n_qubits} qubits"
+            )
+        self._gates.append(g)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "Circuit":
+        for g in gates:
+            self.append(g)
+        return self
+
+    def add(self, name: str, *qubits: int, params: Sequence[float] = ()) -> "Circuit":
+        """Shorthand: ``circ.add("cx", 0, 1)``."""
+        return self.append(Gate(name, tuple(qubits), tuple(params)))
+
+    # ------------------------------------------------------------------ views
+    @property
+    def gates(self) -> List[Gate]:
+        return list(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index: int) -> Gate:
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return self.n_qubits == other.n_qubits and self._gates == other._gates
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Circuit{label}: {self.n_qubits} qubits, {len(self)} gates>"
+
+    def count_ops(self) -> Counter:
+        """Gate-name histogram (the paper's Table II instruction mix)."""
+        return Counter(g.name for g in self._gates)
+
+    def two_qubit_count(self) -> int:
+        return sum(1 for g in self._gates if g.arity == 2)
+
+    def used_qubits(self) -> List[int]:
+        seen = sorted({q for g in self._gates for q in g.qubits})
+        return seen
+
+    def depth(self) -> int:
+        """Circuit depth counting every gate as one layer slot."""
+        level: Dict[int, int] = {}
+        depth = 0
+        for g in self._gates:
+            d = 1 + max((level.get(q, 0) for q in g.qubits), default=0)
+            for q in g.qubits:
+                level[q] = d
+            depth = max(depth, d)
+        return depth
+
+    # ------------------------------------------------------------- transforms
+    def decompose_to_native(self) -> "Circuit":
+        """Rewrite every gate into the hardware basis {u1, u2, u3, cx}."""
+        out = Circuit(self.n_qubits, name=self.name)
+        for g in self._gates:
+            out.extend(decompose_gate(g))
+        return out
+
+    def remap(self, mapping: Dict[int, int], n_qubits: Optional[int] = None) -> "Circuit":
+        """Relabel qubits according to ``mapping`` (logical -> physical)."""
+        out = Circuit(n_qubits or self.n_qubits, name=self.name)
+        for g in self._gates:
+            out.append(g.remap(mapping))
+        return out
+
+    def inverse(self) -> "Circuit":
+        """Exact inverse circuit (reverses order, inverts each gate)."""
+        out = Circuit(self.n_qubits, name=f"{self.name}_inv" if self.name else "")
+        inverse_names = {
+            "s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t",
+        }
+        for g in reversed(self._gates):
+            if g.name in inverse_names:
+                out.append(Gate(inverse_names[g.name], g.qubits))
+            elif g.name in {"rx", "ry", "rz", "u1", "cu1", "crz"}:
+                out.append(Gate(g.name, g.qubits, tuple(-p for p in g.params)))
+            elif g.name == "u2":
+                phi, lam = g.params
+                import math
+                out.append(Gate("u3", g.qubits,
+                                (math.pi / 2, math.pi - lam, -phi - math.pi)))
+            elif g.name == "u3":
+                theta, phi, lam = g.params
+                out.append(Gate("u3", g.qubits, (-theta, -lam, -phi)))
+            else:
+                # Self-inverse gates: x, y, z, h, cx, cz, swap, ccx, id.
+                out.append(g)
+        return out
+
+    # ------------------------------------------------------------- simulation
+    def unitary(self) -> np.ndarray:
+        """Full 2^n x 2^n unitary of the circuit (small n only)."""
+        if self.n_qubits > 12:
+            raise ValueError(
+                f"refusing to build a dense unitary on {self.n_qubits} qubits"
+            )
+        dim = 2**self.n_qubits
+        out = np.eye(dim, dtype=complex)
+        for g in self._gates:
+            out = embed_unitary(g.matrix(), g.qubits, self.n_qubits) @ out
+        return out
+
+    def statevector(self, initial: Optional[np.ndarray] = None) -> np.ndarray:
+        """Apply the circuit to a state (default |0...0>), gate by gate.
+
+        Uses per-gate embedding, so it stays usable a bit beyond the dense
+        unitary limit.
+        """
+        dim = 2**self.n_qubits
+        if initial is None:
+            state = np.zeros(dim, dtype=complex)
+            state[0] = 1.0
+        else:
+            state = np.asarray(initial, dtype=complex).copy()
+            if state.shape != (dim,):
+                raise ValueError(f"state must have shape ({dim},)")
+        for g in self._gates:
+            state = _apply_gate(state, g, self.n_qubits)
+        return state
+
+
+def _apply_gate(state: np.ndarray, g: Gate, n_qubits: int) -> np.ndarray:
+    """Apply one gate to a dense state without building the full matrix."""
+    k = g.arity
+    matrix = g.matrix()
+    axes = [n_qubits - 1 - q for q in g.qubits]  # tensor axis of each wire
+    tensor = state.reshape([2] * n_qubits)
+    tensor = np.moveaxis(tensor, axes, range(k))
+    # After the move, the gate's wire 0 is tensor axis 0. Wire 0 is the LSB of
+    # the gate-matrix index, so flatten with LSB-last ordering reversed.
+    front = tensor.reshape(2**k, -1)
+    # Build index permutation: row r of `matrix` indexes wires LSB-first, while
+    # front's leading axes are wire0..wire{k-1} big-endian in axis order.
+    perm = _bit_reverse_permutation(k)
+    front = front[perm, :]
+    front = matrix @ front
+    front = front[np.argsort(perm), :]
+    tensor = front.reshape([2] * k + [2] * (n_qubits - k))
+    tensor = np.moveaxis(tensor, range(k), axes)
+    return tensor.reshape(-1)
+
+
+def _bit_reverse_permutation(k: int) -> np.ndarray:
+    """Map axis-ordered indices to gate-matrix (LSB-first) indices."""
+    out = np.empty(2**k, dtype=int)
+    for i in range(2**k):
+        rev = 0
+        for b in range(k):
+            if (i >> b) & 1:
+                rev |= 1 << (k - 1 - b)
+        out[rev] = i
+    return out

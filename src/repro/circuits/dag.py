@@ -1,0 +1,94 @@
+"""Circuit dependency DAG.
+
+The paper's Algorithms 1-3 all iterate a circuit "following its topological
+order" and need per-node depth labels; this module provides that structure.
+Nodes are gate indices into the source circuit; an edge u -> v means gate v
+consumes a qubit last written by gate u.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+
+
+class CircuitDAG:
+    """Dependency DAG of a circuit, with depth labels and ASAP layers."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.graph = nx.DiGraph()
+        last_on_qubit: Dict[int, int] = {}
+        for index, g in enumerate(circuit):
+            self.graph.add_node(index, gate=g)
+            for q in g.qubits:
+                if q in last_on_qubit:
+                    self.graph.add_edge(last_on_qubit[q], index)
+                last_on_qubit[q] = index
+        self._depths: Dict[int, int] = self._compute_depths()
+
+    def _compute_depths(self) -> Dict[int, int]:
+        depths: Dict[int, int] = {}
+        for node in nx.topological_sort(self.graph):
+            preds = list(self.graph.predecessors(node))
+            depths[node] = 1 + max((depths[p] for p in preds), default=0)
+        return depths
+
+    # ----------------------------------------------------------------- access
+    def gate(self, node: int) -> Gate:
+        return self.graph.nodes[node]["gate"]
+
+    def topological_order(self) -> List[int]:
+        """Deterministic topological order (lexicographic tie-break)."""
+        return list(nx.lexicographical_topological_sort(self.graph))
+
+    def predecessors(self, node: int) -> List[int]:
+        return list(self.graph.predecessors(node))
+
+    def successors(self, node: int) -> List[int]:
+        return list(self.graph.successors(node))
+
+    def depth_of(self, node: int) -> int:
+        """Global ASAP depth label, 1-based (Algorithm 2 line 3)."""
+        return self._depths[node]
+
+    @property
+    def depth(self) -> int:
+        return max(self._depths.values(), default=0)
+
+    def layers(self) -> List[List[int]]:
+        """ASAP layers: layer i holds all nodes with depth i+1.
+
+        This is the layering the crosstalk metric and the layered mapper use.
+        """
+        if not self._depths:
+            return []
+        out: List[List[int]] = [[] for _ in range(self.depth)]
+        for node, d in self._depths.items():
+            out[d - 1].append(node)
+        for layer in out:
+            layer.sort()
+        return out
+
+    def layers_as_gates(self) -> List[List[Gate]]:
+        return [[self.gate(n) for n in layer] for layer in self.layers()]
+
+    def front_layer(self) -> List[int]:
+        return [n for n in self.graph.nodes if self.graph.in_degree(n) == 0]
+
+
+def critical_path_length(circuit: Circuit, weights: Dict[int, float]) -> float:
+    """Longest path through the DAG with per-node weights (gate index keyed).
+
+    This is the generic form of the paper's Algorithm 3 dynamic program.
+    """
+    dag = CircuitDAG(circuit)
+    best: Dict[int, float] = {}
+    for node in dag.topological_order():
+        start = max((best[p] for p in dag.predecessors(node)), default=0.0)
+        best[node] = start + weights.get(node, 0.0)
+    return max(best.values(), default=0.0)

@@ -1,0 +1,289 @@
+"""Gate library: names, arities, parameters and unitary matrices.
+
+The gate set covers the IBM basis used by the paper (u1, u2, u3, cx), the
+RevLib instruction mix of Table II (x, t, h, cx, rz, tdg), plus the standard
+gates needed by the workload generators (ccx, swap, controlled phases...).
+Non-native gates carry a decomposition into the native basis.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+# Gates the simulated hardware executes directly (IBM Melbourne basis).
+NATIVE_GATES = frozenset({"u1", "u2", "u3", "cx", "id"})
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate application: name, target qubits and real parameters.
+
+    ``qubits[0]`` is the gate's own wire 0; for ``cx`` the convention is
+    ``(control, target)``.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        spec = GATE_SPECS.get(self.name)
+        if spec is None:
+            raise ValueError(f"unknown gate {self.name!r}")
+        if len(self.qubits) != spec.arity:
+            raise ValueError(
+                f"{self.name} expects {spec.arity} qubits, got {self.qubits}"
+            )
+        if len(self.params) != spec.n_params:
+            raise ValueError(
+                f"{self.name} expects {spec.n_params} params, got {self.params}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in {self}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def is_native(self) -> bool:
+        return self.name in NATIVE_GATES
+
+    def matrix(self) -> np.ndarray:
+        """Unitary of this gate on its own wires (2^arity square)."""
+        return GATE_SPECS[self.name].matrix(*self.params)
+
+    def remap(self, mapping: Dict[int, int]) -> "Gate":
+        """Return the same gate applied to relabelled qubits."""
+        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+
+    def __str__(self) -> str:
+        args = ",".join(f"{p:.6g}" for p in self.params)
+        head = f"{self.name}({args})" if args else self.name
+        return f"{head} {list(self.qubits)}"
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type."""
+
+    name: str
+    arity: int
+    n_params: int
+    matrix_fn: Callable[..., np.ndarray]
+
+    def matrix(self, *params: float) -> np.ndarray:
+        return self.matrix_fn(*params)
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """IBM u3 gate (OpenQASM 2 convention)."""
+    c = math.cos(theta / 2)
+    s = math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def _u2(phi: float, lam: float) -> np.ndarray:
+    return _u3(math.pi / 2, phi, lam)
+
+
+def _u1(lam: float) -> np.ndarray:
+    return np.array([[1, 0], [0, cmath.exp(1j * lam)]], dtype=complex)
+
+
+def _rx(theta: float) -> np.ndarray:
+    c = math.cos(theta / 2)
+    s = math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c = math.cos(theta / 2)
+    s = math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    return np.array(
+        [[cmath.exp(-1j * theta / 2), 0], [0, cmath.exp(1j * theta / 2)]],
+        dtype=complex,
+    )
+
+
+_I2 = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
+_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+_SDG = _S.conj()
+_T = np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+_TDG = _T.conj()
+
+
+def _two_qubit_controlled(u: np.ndarray) -> np.ndarray:
+    """Controlled-U with wire 0 = control, wire 1 = target (qubit 0 = LSB).
+
+    Basis index = target_bit << 1 | control_bit.
+    """
+    out = np.eye(4, dtype=complex)
+    # control=1 states are indices 1 (target 0) and 3 (target 1).
+    out[1, 1] = u[0, 0]
+    out[1, 3] = u[0, 1]
+    out[3, 1] = u[1, 0]
+    out[3, 3] = u[1, 1]
+    return out
+
+
+_CX = _two_qubit_controlled(_X)
+_CZ = _two_qubit_controlled(_Z)
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+def _cu1(lam: float) -> np.ndarray:
+    return _two_qubit_controlled(_u1(lam))
+
+
+def _crz(theta: float) -> np.ndarray:
+    return _two_qubit_controlled(_rz(theta))
+
+
+def _ccx() -> np.ndarray:
+    """Toffoli: wires (control, control, target); qubit 0 = LSB."""
+    out = np.eye(8, dtype=complex)
+    # controls are bits 0 and 1; target bit 2. Swap rows 011<->111 (3 and 7).
+    out[3, 3] = out[7, 7] = 0
+    out[3, 7] = out[7, 3] = 1
+    return out
+
+
+GATE_SPECS: Dict[str, GateSpec] = {
+    "id": GateSpec("id", 1, 0, lambda: _I2.copy()),
+    "x": GateSpec("x", 1, 0, lambda: _X.copy()),
+    "y": GateSpec("y", 1, 0, lambda: _Y.copy()),
+    "z": GateSpec("z", 1, 0, lambda: _Z.copy()),
+    "h": GateSpec("h", 1, 0, lambda: _H.copy()),
+    "s": GateSpec("s", 1, 0, lambda: _S.copy()),
+    "sdg": GateSpec("sdg", 1, 0, lambda: _SDG.copy()),
+    "t": GateSpec("t", 1, 0, lambda: _T.copy()),
+    "tdg": GateSpec("tdg", 1, 0, lambda: _TDG.copy()),
+    "rx": GateSpec("rx", 1, 1, _rx),
+    "ry": GateSpec("ry", 1, 1, _ry),
+    "rz": GateSpec("rz", 1, 1, _rz),
+    "u1": GateSpec("u1", 1, 1, _u1),
+    "u2": GateSpec("u2", 1, 2, _u2),
+    "u3": GateSpec("u3", 1, 3, _u3),
+    "cx": GateSpec("cx", 2, 0, lambda: _CX.copy()),
+    "cz": GateSpec("cz", 2, 0, lambda: _CZ.copy()),
+    "cu1": GateSpec("cu1", 2, 1, _cu1),
+    "crz": GateSpec("crz", 2, 1, _crz),
+    "swap": GateSpec("swap", 2, 0, lambda: _SWAP.copy()),
+    "ccx": GateSpec("ccx", 3, 0, _ccx),
+}
+
+
+def gate(name: str, *qubits: int, params: Sequence[float] = ()) -> Gate:
+    """Convenience constructor: ``gate("cx", 0, 1)``."""
+    return Gate(name, tuple(qubits), tuple(params))
+
+
+def decompose_gate(g: Gate) -> List[Gate]:
+    """Rewrite ``g`` into the native basis {u1, u2, u3, cx}.
+
+    Native gates pass through. The Toffoli uses the standard 15-operation
+    network (6 CX + 9 single-qubit gates, paper Fig 2); SWAP uses 3 CX;
+    other two-qubit gates use textbook constructions.
+    """
+    if g.is_native:
+        return [g]
+    q = g.qubits
+    pi = math.pi
+    if g.name == "x":
+        return [Gate("u3", q, (pi, 0.0, pi))]
+    if g.name == "y":
+        return [Gate("u3", q, (pi, pi / 2, pi / 2))]
+    if g.name == "z":
+        return [Gate("u1", q, (pi,))]
+    if g.name == "h":
+        return [Gate("u2", q, (0.0, pi))]
+    if g.name == "s":
+        return [Gate("u1", q, (pi / 2,))]
+    if g.name == "sdg":
+        return [Gate("u1", q, (-pi / 2,))]
+    if g.name == "t":
+        return [Gate("u1", q, (pi / 4,))]
+    if g.name == "tdg":
+        return [Gate("u1", q, (-pi / 4,))]
+    if g.name == "rx":
+        return [Gate("u3", q, (g.params[0], -pi / 2, pi / 2))]
+    if g.name == "ry":
+        return [Gate("u3", q, (g.params[0], 0.0, 0.0))]
+    if g.name == "rz":
+        # Equal to u1 up to global phase, which is irrelevant downstream.
+        return [Gate("u1", q, (g.params[0],))]
+    if g.name == "cz":
+        c, t = q
+        return [
+            Gate("u2", (t,), (0.0, pi)),
+            Gate("cx", (c, t)),
+            Gate("u2", (t,), (0.0, pi)),
+        ]
+    if g.name == "swap":
+        a, b = q
+        return [Gate("cx", (a, b)), Gate("cx", (b, a)), Gate("cx", (a, b))]
+    if g.name == "cu1":
+        lam = g.params[0]
+        c, t = q
+        return [
+            Gate("u1", (c,), (lam / 2,)),
+            Gate("cx", (c, t)),
+            Gate("u1", (t,), (-lam / 2,)),
+            Gate("cx", (c, t)),
+            Gate("u1", (t,), (lam / 2,)),
+        ]
+    if g.name == "crz":
+        theta = g.params[0]
+        c, t = q
+        return [
+            Gate("u1", (t,), (theta / 2,)),
+            Gate("cx", (c, t)),
+            Gate("u1", (t,), (-theta / 2,)),
+            Gate("cx", (c, t)),
+        ]
+    if g.name == "ccx":
+        a, b, c = q  # controls a, b; target c
+        h = lambda w: Gate("u2", (w,), (0.0, pi))  # noqa: E731
+        t = lambda w: Gate("u1", (w,), (pi / 4,))  # noqa: E731
+        tdg = lambda w: Gate("u1", (w,), (-pi / 4,))  # noqa: E731
+        cx = lambda x, y: Gate("cx", (x, y))  # noqa: E731
+        return [
+            h(c),
+            cx(b, c),
+            tdg(c),
+            cx(a, c),
+            t(c),
+            cx(b, c),
+            tdg(c),
+            cx(a, c),
+            t(b),
+            t(c),
+            h(c),
+            cx(a, b),
+            t(a),
+            tdg(b),
+            cx(a, b),
+        ]
+    raise ValueError(f"no decomposition registered for {g.name}")

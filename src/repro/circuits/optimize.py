@@ -1,0 +1,138 @@
+"""Peephole circuit simplification.
+
+An optional pass between mapping and grouping: cancels adjacent
+inverse pairs (h-h, cx-cx, x-x, ...) and merges runs of diagonal phase
+gates on one wire. QOC makes much of this redundant — a group's *matrix*
+already collapses cancelling gates — but the pass still helps the
+gate-based baseline and shrinks group gate lists, and the ablation bench
+quantifies exactly how much of AccQOC's win survives a stronger baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+
+# Self-inverse gates cancel when applied twice to the same wires.
+_SELF_INVERSE = frozenset({"x", "y", "z", "h", "cx", "cz", "swap", "ccx"})
+# Diagonal single-qubit phase gates merge additively (angle of u1).
+_PHASE_ANGLE = {
+    "u1": lambda g: g.params[0],
+    "rz": lambda g: g.params[0],
+    "z": lambda g: np.pi,
+    "s": lambda g: np.pi / 2,
+    "sdg": lambda g: -np.pi / 2,
+    "t": lambda g: np.pi / 4,
+    "tdg": lambda g: -np.pi / 4,
+}
+
+
+def _is_phase(gate: Gate) -> bool:
+    return gate.name in _PHASE_ANGLE
+
+
+def _phase_angle(gate: Gate) -> float:
+    return float(_PHASE_ANGLE[gate.name](gate))
+
+
+def simplify(circuit: Circuit, max_passes: int = 10) -> Circuit:
+    """Fixpoint of cancellation + phase merging. Preserves the unitary
+    exactly (phase merges are exact; u1 carries the summed angle)."""
+    gates = list(circuit.gates)
+    for _ in range(max_passes):
+        merged = _merge_phases(gates)
+        cancelled = _cancel_inverse_pairs(merged)
+        if cancelled == gates:
+            break
+        gates = cancelled
+    out = Circuit(circuit.n_qubits, name=circuit.name)
+    out.extend(gates)
+    return out
+
+
+def _cancel_inverse_pairs(gates: List[Gate]) -> List[Gate]:
+    """Remove adjacent self-inverse pairs on identical wires.
+
+    "Adjacent" means no intervening gate touches any of the pair's qubits
+    (gates on disjoint qubits commute past each other).
+    """
+    out: List[Gate] = []
+    pending_on: Dict[int, int] = {}  # qubit -> index into `out` of last gate
+    for gate in gates:
+        prev_index = _last_blocking(out, pending_on, gate)
+        if (
+            prev_index is not None
+            and gate.name in _SELF_INVERSE
+            and out[prev_index].name == gate.name
+            and out[prev_index].qubits == gate.qubits
+        ):
+            removed = out.pop(prev_index)
+            _reindex(pending_on, prev_index)
+            continue
+        out.append(gate)
+        for q in gate.qubits:
+            pending_on[q] = len(out) - 1
+    return out
+
+
+def _last_blocking(
+    out: List[Gate], pending_on: Dict[int, int], gate: Gate
+) -> Optional[int]:
+    """Index of the most recent gate sharing a qubit with ``gate``.
+
+    Returns it only when it is the last gate on *all* of ``gate``'s qubits
+    (otherwise something interposes on one wire and cancellation is unsafe).
+    """
+    indices = {pending_on.get(q) for q in gate.qubits}
+    indices.discard(None)
+    if len(indices) != 1:
+        return None
+    index = indices.pop()
+    # Every qubit of the previous gate must also point at it, or a later
+    # gate on one of its wires would break adjacency.
+    prev = out[index]
+    if set(prev.qubits) != set(gate.qubits):
+        return None
+    if any(pending_on.get(q) != index for q in gate.qubits):
+        return None
+    return index
+
+
+def _reindex(pending_on: Dict[int, int], removed_index: int) -> None:
+    for q in list(pending_on):
+        if pending_on[q] == removed_index:
+            del pending_on[q]
+        elif pending_on[q] > removed_index:
+            pending_on[q] -= 1
+
+
+def _merge_phases(gates: List[Gate]) -> List[Gate]:
+    """Merge adjacent diagonal phase gates on the same wire into one u1."""
+    out: List[Gate] = []
+    for gate in gates:
+        if _is_phase(gate) and out:
+            prev = out[-1]
+            if _is_phase(prev) and prev.qubits == gate.qubits:
+                angle = _phase_angle(prev) + _phase_angle(gate)
+                out.pop()
+                angle = float((angle + np.pi) % (2 * np.pi) - np.pi)
+                if abs(angle) > 1e-12:
+                    out.append(Gate("u1", gate.qubits, (angle,)))
+                continue
+        out.append(gate)
+    return out
+
+
+def simplification_stats(before: Circuit, after: Circuit) -> Dict[str, int]:
+    """Gate-count delta of a simplification run."""
+    return {
+        "gates_before": len(before),
+        "gates_after": len(after),
+        "removed": len(before) - len(after),
+        "two_qubit_before": before.two_qubit_count(),
+        "two_qubit_after": after.two_qubit_count(),
+    }

@@ -1,0 +1,73 @@
+"""Build unitaries for gate *groups* on their local (<= few) qubits.
+
+A group acts on a subset of circuit qubits; GRAPE and the similarity layer
+work with the group's matrix expressed on its own local wires, ordered by
+ascending circuit-qubit index (local wire 0 = smallest circuit qubit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.gates import Gate
+from repro.utils.linalg import embed_unitary
+
+
+def local_qubit_order(gates: Sequence[Gate]) -> List[int]:
+    """Circuit qubits touched by ``gates``, ascending."""
+    return sorted({q for g in gates for q in g.qubits})
+
+
+def group_unitary(gates: Sequence[Gate],
+                  qubit_order: Sequence[int] = None) -> np.ndarray:
+    """Product unitary of ``gates`` on their local qubits.
+
+    ``qubit_order[i]`` is the circuit qubit assigned to local wire ``i``;
+    defaults to ascending order of the touched qubits.
+    """
+    gates = list(gates)
+    if not gates:
+        return np.eye(1, dtype=complex)
+    order = list(qubit_order) if qubit_order is not None else local_qubit_order(gates)
+    index_of: Dict[int, int] = {q: i for i, q in enumerate(order)}
+    missing = {q for g in gates for q in g.qubits} - set(index_of)
+    if missing:
+        raise ValueError(f"gates touch qubits {sorted(missing)} not in order {order}")
+    k = len(order)
+    out = np.eye(2**k, dtype=complex)
+    for g in gates:
+        local = tuple(index_of[q] for q in g.qubits)
+        out = embed_unitary(g.matrix(), local, k) @ out
+    return out
+
+
+def permute_qubits(matrix: np.ndarray, perm: Sequence[int]) -> np.ndarray:
+    """Return P U P^dag where P relabels wire ``i`` to wire ``perm[i]``.
+
+    Used by the dedup layer: two groups identical up to a wire permutation
+    share pulses after relabeling the drive lines.
+    """
+    perm = list(perm)
+    k = len(perm)
+    if sorted(perm) != list(range(k)):
+        raise ValueError(f"{perm} is not a permutation")
+    if matrix.shape != (2**k, 2**k):
+        raise ValueError("matrix size does not match permutation length")
+    dim = 2**k
+    p = np.zeros((dim, dim), dtype=complex)
+    for src in range(dim):
+        dst = 0
+        for wire in range(k):
+            if (src >> wire) & 1:
+                dst |= 1 << perm[wire]
+        p[dst, src] = 1.0
+    return p @ matrix @ p.conj().T
+
+
+def all_wire_permutations(k: int) -> List[Tuple[int, ...]]:
+    """All wire permutations of a k-qubit group (k is at most 2-3 here)."""
+    import itertools
+
+    return list(itertools.permutations(range(k)))

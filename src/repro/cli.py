@@ -1,0 +1,92 @@
+"""Command-line entry point: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro list                    # available experiments
+    python -m repro fig15                   # run one experiment
+    python -m repro fig8 --mode grape       # real-optimizer variants
+    python -m repro all                     # the full evaluation section
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.analysis import (
+    fig5_crosstalk_error,
+    fig7_coverage,
+    fig8_similarity_iteration_reduction,
+    fig11_crosstalk_mapping,
+    fig12_latency_policies,
+    fig13_per_program_iteration_reduction,
+    fig14_group_growth,
+    fig15_accqoc_vs_brute,
+    sec2e_numbers,
+    table1_policies,
+    table2_instruction_mixes,
+)
+from repro.analysis.reporting import ascii_table
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": table1_policies,
+    "table2": table2_instruction_mixes,
+    "fig5": fig5_crosstalk_error,
+    "fig7": fig7_coverage,
+    "fig8": fig8_similarity_iteration_reduction,
+    "fig11": fig11_crosstalk_mapping,
+    "fig12": fig12_latency_policies,
+    "fig13": fig13_per_program_iteration_reduction,
+    "fig14": fig14_group_growth,
+    "fig15": fig15_accqoc_vs_brute,
+    "sec2e": sec2e_numbers,
+}
+
+_MODE_AWARE = {"fig8", "fig13"}
+
+
+def _run(name: str, mode: str) -> None:
+    driver = EXPERIMENTS[name]
+    result = driver(mode=mode) if name in _MODE_AWARE else driver()
+    print(ascii_table(result.headers, result.rows(), result.name))
+    for key, value in result.summary.items():
+        print(f"  {key}: {value:.4g}")
+    print()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AccQOC reproduction: regenerate paper tables/figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("model", "grape"),
+        default="model",
+        help="engine for iteration-count experiments (fig8/fig13)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            _run(name, args.mode)
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; try 'list'"
+        )
+    _run(args.experiment, args.mode)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

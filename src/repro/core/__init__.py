@@ -1,0 +1,58 @@
+"""AccQOC core: similarity, MST acceleration, pre-compilation, pipeline."""
+
+from repro.core.bruteforce import (
+    BruteForceReport,
+    brute_force_compile,
+    brute_force_groups,
+)
+from repro.core.cache import CoverageReport, LibraryEntry, PulseLibrary
+from repro.core.dynamic import AcceleratedCompiler, DynamicCompileReport
+from repro.core.engines import CompileRecord, GrapeEngine, IterationModel, ModelEngine
+from repro.core.partition import TreePartition, node_weights_from_sequence, partition_tree
+from repro.core.pipeline import AccQOC, CompiledProgram, FrontEndResult
+from repro.core.precompile import PrecompileReport, StaticPrecompiler
+from repro.core.similarity import (
+    SIMILARITY_FUNCTIONS,
+    SIMILARITY_NAMES,
+    get_similarity,
+    normalized_weight,
+)
+from repro.core.simgraph import (
+    IDENTITY_VERTEX,
+    CompileSequence,
+    SimilarityGraph,
+    build_similarity_graph,
+    prim_compile_sequence,
+)
+
+__all__ = [
+    "BruteForceReport",
+    "brute_force_compile",
+    "brute_force_groups",
+    "CoverageReport",
+    "LibraryEntry",
+    "PulseLibrary",
+    "AcceleratedCompiler",
+    "DynamicCompileReport",
+    "CompileRecord",
+    "GrapeEngine",
+    "IterationModel",
+    "ModelEngine",
+    "TreePartition",
+    "node_weights_from_sequence",
+    "partition_tree",
+    "AccQOC",
+    "CompiledProgram",
+    "FrontEndResult",
+    "PrecompileReport",
+    "StaticPrecompiler",
+    "SIMILARITY_FUNCTIONS",
+    "SIMILARITY_NAMES",
+    "get_similarity",
+    "normalized_weight",
+    "IDENTITY_VERTEX",
+    "CompileSequence",
+    "SimilarityGraph",
+    "build_similarity_graph",
+    "prim_compile_sequence",
+]

@@ -1,0 +1,194 @@
+"""End-to-end AccQOC pipeline (paper Fig 6).
+
+Front end (shared with gate-based compilation): decompose to the native
+basis, map onto the device with the crosstalk-aware A* mapper. Back end:
+grouping policy -> pre-compiled pulse lookup -> MST-accelerated dynamic
+compilation of uncovered groups -> Algorithm 3 overall latency. The
+gate-based baseline concatenates per-gate pulses of the same mapped circuit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.core.cache import CoverageReport, PulseLibrary
+from repro.core.dynamic import AcceleratedCompiler, DynamicCompileReport
+from repro.core.engines import GrapeEngine, ModelEngine
+from repro.core.precompile import PrecompileReport, StaticPrecompiler
+from repro.grouping.dedup import DedupResult, dedupe_groups, merge_dedups
+from repro.grouping.group import GateGroup
+from repro.grouping.policies import GroupingPolicy, group_circuit, make_policy, prepare_circuit
+from repro.latency.schedule import overall_latency
+from repro.mapping.astar import AStarMapper, MappingResult
+from repro.mapping.crosstalk import crosstalk_metric
+from repro.mapping.topology import Topology, topology_for
+from repro.utils.config import PipelineConfig
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class FrontEndResult:
+    """Mapped physical circuit plus mapping diagnostics.
+
+    ``prepared`` is the direction-agnostic circuit grouping consumes (QOC
+    compiles group matrices, so CNOT direction is free); ``gate_based`` is
+    the executable gate-by-gate version with direction-fixing Hadamards,
+    which the latency baseline prices.
+    """
+
+    prepared: Circuit
+    gate_based: Circuit
+    mapping: MappingResult
+    topology: Topology
+    crosstalk: int  # close-CNOT-pair metric of the prepared circuit
+
+
+@dataclass
+class CompiledProgram:
+    """Everything Fig 12/15-style experiments read off one program."""
+
+    name: str
+    front_end: FrontEndResult
+    groups: List[GateGroup]
+    dedup: DedupResult
+    coverage: CoverageReport
+    dynamic: Optional[DynamicCompileReport]
+    overall_latency: float
+    gate_based_latency: float
+    compile_iterations: int
+    wall_time: float
+
+    @property
+    def latency_reduction(self) -> float:
+        if self.overall_latency <= 0:
+            return float("inf")
+        return self.gate_based_latency / self.overall_latency
+
+    @property
+    def coverage_rate(self) -> float:
+        return self.coverage.rate
+
+
+class AccQOC:
+    """The full static/dynamic hybrid workflow."""
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        engine=None,
+        crosstalk_aware: bool = True,
+    ):
+        self.config = config or PipelineConfig()
+        self.engine = engine or ModelEngine(self.config.physics)
+        self.policy: GroupingPolicy = make_policy(self.config.policy_name)
+        self.crosstalk_aware = crosstalk_aware
+        self.library = PulseLibrary()
+        self._front_end_cache: Dict[int, FrontEndResult] = {}
+
+    # -------------------------------------------------------------- front end
+    def front_end(self, circuit: Circuit) -> FrontEndResult:
+        cache_key = id(circuit)
+        if cache_key in self._front_end_cache:
+            return self._front_end_cache[cache_key]
+        native = circuit.decompose_to_native()
+        topology = topology_for(native.n_qubits)
+        mapper = AStarMapper(topology, crosstalk_aware=self.crosstalk_aware)
+        mapping = mapper.map_circuit(native)
+        prepared = prepare_circuit(mapping.circuit, self.policy, topology)
+        from repro.mapping.swaps import decompose_swaps, fix_directions
+
+        gate_based = fix_directions(
+            decompose_swaps(mapping.circuit, topology), topology
+        )
+        result = FrontEndResult(
+            prepared=prepared,
+            gate_based=gate_based,
+            mapping=mapping,
+            topology=topology,
+            crosstalk=crosstalk_metric(prepared, topology),
+        )
+        self._front_end_cache[cache_key] = result
+        return result
+
+    def groups_of(self, circuit: Circuit) -> Tuple[FrontEndResult, List[GateGroup]]:
+        front = self.front_end(circuit)
+        groups = group_circuit(front.mapping.circuit, self.policy, front.topology)
+        return front, groups
+
+    # ------------------------------------------------------------ precompile
+    def profile_groups(self, programs: Sequence[Circuit]) -> DedupResult:
+        """Group the profiling set and merge the per-program dedups."""
+        dedups = []
+        for program in programs:
+            _, groups = self.groups_of(program)
+            dedups.append(dedupe_groups(groups))
+        return merge_dedups(dedups)
+
+    def select_profile_programs(
+        self, programs: Sequence[Circuit]
+    ) -> List[Circuit]:
+        """Randomly pick the profiling share (paper: one third) of the suite."""
+        rng = derive_rng("profile-selection", self.config.run.seed)
+        programs = list(programs)
+        count = max(1, int(round(len(programs) * self.config.profile_fraction)))
+        indices = sorted(rng.choice(len(programs), size=count, replace=False))
+        return [programs[i] for i in indices]
+
+    def precompile(
+        self, programs: Sequence[Circuit], profile_all: bool = False
+    ) -> PrecompileReport:
+        """Static pre-compilation over (a sample of) the benchmark suite."""
+        selected = list(programs) if profile_all else self.select_profile_programs(programs)
+        dedup = self.profile_groups(selected)
+        precompiler = StaticPrecompiler(
+            self.engine, similarity=self.config.similarity, use_mst=True
+        )
+        report = precompiler.build_library(
+            dedup, optimize_most_frequent=self.config.optimize_most_frequent
+        )
+        self.library = report.library
+        return report
+
+    # ---------------------------------------------------------------- compile
+    def compile(self, circuit: Circuit, use_mst: bool = True) -> CompiledProgram:
+        start = time.monotonic()
+        front, groups = self.groups_of(circuit)
+        dedup = dedupe_groups(groups)
+        coverage = self.library.coverage(groups)
+
+        dynamic_report: Optional[DynamicCompileReport] = None
+        latencies: Dict[bytes, float] = {}
+        compile_iterations = 0
+        for entry in self.library.entries():
+            latencies[entry.group.key()] = entry.latency
+        if coverage.uncovered_unique:
+            compiler = AcceleratedCompiler(
+                self.engine, similarity=self.config.similarity, use_mst=use_mst
+            )
+            dynamic_report = compiler.compile_uncovered(
+                coverage.uncovered_unique, self.library
+            )
+            latencies.update(dynamic_report.latency_of())
+            compile_iterations = dynamic_report.total_iterations
+
+        def latency_of(group: GateGroup) -> float:
+            return latencies[group.key()]
+
+        total_latency = overall_latency(front.prepared, groups, latency_of)
+        gate_table = self.engine.gate_table()
+        gate_latency = gate_table.circuit_latency(front.gate_based)
+        return CompiledProgram(
+            name=circuit.name or "<unnamed>",
+            front_end=front,
+            groups=groups,
+            dedup=dedup,
+            coverage=coverage,
+            dynamic=dynamic_report,
+            overall_latency=total_latency,
+            gate_based_latency=gate_latency,
+            compile_iterations=compile_iterations,
+            wall_time=time.monotonic() - start,
+        )

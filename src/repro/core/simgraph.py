@@ -1,0 +1,132 @@
+"""Similarity graph (SG) and Prim MST compile-sequence extraction (Sec V-C).
+
+SG is a complete graph: one vertex per (uncovered) group plus a special
+vertex for the identity matrix; edge weights are pairwise dissimilarity.
+Running Prim from the identity and recording the order vertices join the
+tree yields the Compilation Sequence CS — each group's pulse is trained
+warm-started from its MST parent, which by construction is already compiled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.similarity import get_similarity
+from repro.grouping.group import GateGroup
+
+IDENTITY_VERTEX = -1  # sentinel index of the identity matrix vertex
+
+
+@dataclass
+class SimilarityGraph:
+    """Dense pairwise-distance matrix over groups (+ identity per dimension).
+
+    Vertices 0..n-1 are the groups; the identity is virtual: its distance to
+    group i is ``identity_row[i]`` (identity of the group's own dimension).
+    """
+
+    groups: List[GateGroup]
+    weights: np.ndarray  # (n, n) symmetric, zero diagonal
+    identity_row: np.ndarray  # (n,)
+    similarity_name: str
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    def weight(self, a: int, b: int) -> float:
+        if a == IDENTITY_VERTEX:
+            return float(self.identity_row[b])
+        if b == IDENTITY_VERTEX:
+            return float(self.identity_row[a])
+        return float(self.weights[a, b])
+
+
+def build_similarity_graph(
+    groups: Sequence[GateGroup], similarity: str = "fidelity1"
+) -> SimilarityGraph:
+    """Compute all pairwise weights (groups of different dims get +inf edges).
+
+    Different-dimension matrices cannot seed each other's pulses (different
+    control line sets), so their edges are infinite and Prim will connect
+    each dimension class through the identity instead.
+    """
+    fn = get_similarity(similarity)
+    groups = list(groups)
+    n = len(groups)
+    weights = np.full((n, n), np.inf)
+    np.fill_diagonal(weights, 0.0)
+    mats = [g.matrix() for g in groups]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if mats[i].shape == mats[j].shape:
+                w = fn(mats[i], mats[j])
+                weights[i, j] = weights[j, i] = w
+    identity_row = np.array(
+        [fn(np.eye(m.shape[0], dtype=complex), m) for m in mats]
+    )
+    return SimilarityGraph(
+        groups=groups,
+        weights=weights,
+        identity_row=identity_row,
+        similarity_name=similarity,
+    )
+
+
+@dataclass
+class CompileSequence:
+    """Prim insertion order plus the MST parent of every vertex."""
+
+    order: List[int]  # group indices in compile order
+    parent: Dict[int, int]  # group index -> parent (IDENTITY_VERTEX for roots)
+    parent_weight: Dict[int, float]  # group index -> weight of edge to parent
+    total_weight: float
+
+    def __iter__(self):
+        return iter(self.order)
+
+
+def prim_compile_sequence(graph: SimilarityGraph) -> CompileSequence:
+    """Prim's algorithm from the identity vertex, recording insertion order.
+
+    "In the process of generating MST using the greedy algorithm, i.e., Prim
+    algorithm, we can remember the sequence that all vertices are selected,
+    this sequence is exactly what we need for CS." (Sec V-C)
+    """
+    n = graph.n_groups
+    if n == 0:
+        return CompileSequence([], {}, {}, 0.0)
+    in_tree = [False] * n
+    best_weight = graph.identity_row.astype(float).copy()
+    best_parent = [IDENTITY_VERTEX] * n
+    order: List[int] = []
+    parent: Dict[int, int] = {}
+    parent_weight: Dict[int, float] = {}
+    total = 0.0
+    heap: List[Tuple[float, int, int]] = [
+        (best_weight[i], i, IDENTITY_VERTEX) for i in range(n)
+    ]
+    heapq.heapify(heap)
+    while heap and len(order) < n:
+        weight, vertex, via = heapq.heappop(heap)
+        if in_tree[vertex] or weight > best_weight[vertex]:
+            continue
+        in_tree[vertex] = True
+        order.append(vertex)
+        parent[vertex] = via
+        parent_weight[vertex] = float(weight)
+        total += float(weight)
+        row = graph.weights[vertex]
+        for other in range(n):
+            if not in_tree[other] and row[other] < best_weight[other]:
+                best_weight[other] = row[other]
+                best_parent[other] = vertex
+                heapq.heappush(heap, (row[other], other, vertex))
+    return CompileSequence(
+        order=order, parent=parent, parent_weight=parent_weight, total_weight=total
+    )

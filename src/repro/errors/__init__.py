@@ -1,0 +1,39 @@
+"""Error models: synthetic device calibration and fidelity accounting."""
+
+from repro.errors.calibration import (
+    CROSSTALK_INFLATION,
+    CX_TIME_NS,
+    MEAN_CX_ERROR,
+    MEAN_T1_US,
+    MEAN_T2_US,
+    DeviceCalibration,
+    PairCalibration,
+    QubitCalibration,
+    fig5_pairs,
+    melbourne_calibration,
+)
+from repro.errors.fidelity_model import (
+    Sec2EResult,
+    coherence_error,
+    fidelity_gain_from_latency,
+    program_fidelity,
+    sec2e_error_balance,
+)
+
+__all__ = [
+    "CROSSTALK_INFLATION",
+    "CX_TIME_NS",
+    "MEAN_CX_ERROR",
+    "MEAN_T1_US",
+    "MEAN_T2_US",
+    "DeviceCalibration",
+    "PairCalibration",
+    "QubitCalibration",
+    "fig5_pairs",
+    "melbourne_calibration",
+    "Sec2EResult",
+    "coherence_error",
+    "fidelity_gain_from_latency",
+    "program_fidelity",
+    "sec2e_error_balance",
+]

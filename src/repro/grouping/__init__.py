@@ -1,0 +1,29 @@
+"""Gate grouping: Algorithms 1-2, the 2bnl policies, de-duplication."""
+
+from repro.grouping.bit_partition import bit_partition
+from repro.grouping.dedup import DedupResult, dedupe_groups, merge_dedups
+from repro.grouping.group import GateGroup
+from repro.grouping.layer_partition import layer_partition
+from repro.grouping.policies import (
+    ALL_POLICIES,
+    DEFAULT_POLICY,
+    GroupingPolicy,
+    group_circuit,
+    make_policy,
+    prepare_circuit,
+)
+
+__all__ = [
+    "bit_partition",
+    "layer_partition",
+    "GateGroup",
+    "DedupResult",
+    "dedupe_groups",
+    "merge_dedups",
+    "ALL_POLICIES",
+    "DEFAULT_POLICY",
+    "GroupingPolicy",
+    "group_circuit",
+    "make_policy",
+    "prepare_circuit",
+]

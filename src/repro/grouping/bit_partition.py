@@ -1,0 +1,163 @@
+"""Algorithm 1 (Bit Dividing): partition a circuit into qubit-bounded subgroups.
+
+Walking the dependency DAG in topological order, each gate greedily joins the
+subgroup of a predecessor whenever the union of qubits stays within the bit
+constraint; when both predecessors' subgroups can merge, they are merged
+(Algorithm 1, lines 5-13).
+
+Beyond the paper's pseudocode, joins are guarded so the *group-level* graph
+stays acyclic: a gate may not rejoin an earlier group when another group has
+meanwhile interposed between them on a dependency path. Without the guard the
+re-structured DAG of Algorithm 3 (one node per group) can contain cycles and
+the overall-latency dynamic program would be ill-defined; pulses are atomic,
+so mutually interleaved groups are unschedulable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDAG
+
+
+class _Partitioner:
+    """State of the greedy bit-partition sweep."""
+
+    def __init__(self, dag: CircuitDAG, bit_constraint: int):
+        self.dag = dag
+        self.bc = bit_constraint
+        self.nodes_of: Dict[int, List[int]] = {}
+        self.qubits_of: Dict[int, Set[int]] = {}
+        self.preds_of: Dict[int, Set[int]] = {}  # group-level dependencies
+        self.group_of: Dict[int, int] = {}  # gate node -> group id
+        self._next_id = 0
+
+    # ------------------------------------------------------------- group ops
+    def new_group(self, pred_groups: Set[int]) -> int:
+        gid = self._next_id
+        self._next_id += 1
+        self.nodes_of[gid] = []
+        self.qubits_of[gid] = set()
+        self.preds_of[gid] = set(pred_groups)
+        return gid
+
+    def add_node(self, gid: int, node: int, pred_groups: Set[int]) -> None:
+        self.nodes_of[gid].append(node)
+        self.qubits_of[gid] |= set(self.dag.gate(node).qubits)
+        self.preds_of[gid] |= pred_groups - {gid}
+        self.group_of[node] = gid
+
+    def merge(self, keep: int, absorb: int) -> int:
+        """Merge group ``absorb`` into ``keep``."""
+        if keep == absorb:
+            return keep
+        self.nodes_of[keep].extend(self.nodes_of.pop(absorb))
+        self.qubits_of[keep] |= self.qubits_of.pop(absorb)
+        self.preds_of[keep] |= self.preds_of.pop(absorb)
+        self.preds_of[keep] -= {keep, absorb}
+        for gid, preds in self.preds_of.items():
+            if absorb in preds:
+                preds.discard(absorb)
+                if gid != keep:
+                    preds.add(keep)
+        for node in self.nodes_of[keep]:
+            self.group_of[node] = keep
+        return keep
+
+    # ----------------------------------------------------------- reachability
+    def _reaches(self, start: int, target: int, skip: Set[int]) -> bool:
+        """True when ``target`` is an ancestor of ``start`` in the group DAG.
+
+        ``skip`` nodes may not be used as intermediate hops (they can still be
+        the target itself at depth >= 1 from a non-skipped hop).
+        """
+        first_hops = [p for p in self.preds_of.get(start, ()) if p not in skip]
+        if target in first_hops:
+            return True
+        stack = list(first_hops)
+        seen = set(stack)
+        while stack:
+            gid = stack.pop()
+            for p in self.preds_of.get(gid, ()):
+                if p == target:
+                    return True
+                if p not in seen and p not in skip:
+                    seen.add(p)
+                    stack.append(p)
+        return False
+
+    def join_is_safe(self, gid: int, pred_groups: Set[int]) -> bool:
+        """Adding a node to ``gid`` adds edges B -> gid for each other pred B.
+
+        Unsafe when gid is already an ancestor of some B (cycle B -> gid -> B).
+        """
+        for other in pred_groups:
+            if other == gid:
+                continue
+            if self._reaches(other, gid, skip=set()):
+                return False
+        return True
+
+    def merge_is_safe(self, a: int, b: int) -> bool:
+        """Merging a and b is unsafe if a path connects them through a third group."""
+        return not (
+            self._reaches(a, b, skip={a, b}) or self._reaches(b, a, skip={a, b})
+        )
+
+    # ----------------------------------------------------------------- result
+    def groups(self) -> List[List[int]]:
+        ordered = [sorted(nodes) for nodes in self.nodes_of.values() if nodes]
+        ordered.sort(key=lambda nodes: nodes[0])
+        return ordered
+
+
+def bit_partition(circuit: Circuit, bit_constraint: int = 2) -> List[List[int]]:
+    """Partition gates into subgroups touching <= ``bit_constraint`` qubits.
+
+    Returns lists of gate indices. Within a group, indices are ascending; the
+    induced group-level dependency graph is guaranteed acyclic.
+    """
+    if bit_constraint < 1:
+        raise ValueError("bit_constraint must be >= 1")
+    dag = CircuitDAG(circuit)
+    part = _Partitioner(dag, bit_constraint)
+
+    for node in dag.topological_order():
+        gate = dag.gate(node)
+        gate_qubits = set(gate.qubits)
+        if len(gate_qubits) > bit_constraint:
+            raise ValueError(
+                f"gate {gate} exceeds the {bit_constraint}-qubit constraint; "
+                "decompose the circuit first"
+            )
+        pred_groups = {part.group_of[p] for p in dag.predecessors(node)}
+        joinable = [
+            gid
+            for gid in sorted(pred_groups)
+            if len(part.qubits_of[gid] | gate_qubits) <= bit_constraint
+        ]
+
+        target = None
+        if len(joinable) >= 2:
+            a, b = joinable[0], joinable[1]
+            union = part.qubits_of[a] | part.qubits_of[b] | gate_qubits
+            if len(union) <= bit_constraint and part.merge_is_safe(a, b):
+                merged = part.merge(a, b)
+                pred_groups = {merged if g in (a, b) else g for g in pred_groups}
+                if part.join_is_safe(merged, pred_groups):
+                    target = merged
+        if target is None:
+            for gid in sorted(
+                joinable, key=lambda g: (-len(part.nodes_of.get(g, ())), g)
+            ):
+                if gid not in part.nodes_of:
+                    continue  # consumed by a merge above
+                if part.join_is_safe(gid, pred_groups):
+                    target = gid
+                    break
+        if target is None:
+            target = part.new_group(pred_groups)
+        part.add_node(target, node, pred_groups)
+
+    return part.groups()

@@ -1,0 +1,68 @@
+"""Group de-duplication (paper Sec IV-C).
+
+Two groups are duplicates when their unitaries agree up to global phase and a
+permutation of their qubits — the pulse of one drives the other after
+relabelling control lines. Dedup is what makes pre-compilation pay off: the
+profiled category stores one pulse per *distinct matrix*.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.grouping.group import GateGroup
+
+
+@dataclass
+class DedupResult:
+    """Unique groups plus bookkeeping to map occurrences back to them."""
+
+    unique: List[GateGroup]
+    counts: Counter  # key -> number of occurrences
+    index_of: Dict[bytes, int]  # key -> index into `unique`
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.unique)
+
+    def frequency_ranked(self) -> List[Tuple[GateGroup, int]]:
+        """Unique groups with occurrence counts, most frequent first."""
+        ranked = sorted(
+            self.unique,
+            key=lambda g: (-self.counts[g.key()], self.index_of[g.key()]),
+        )
+        return [(g, self.counts[g.key()]) for g in ranked]
+
+    def most_frequent(self) -> GateGroup:
+        return self.frequency_ranked()[0][0]
+
+
+def dedupe_groups(groups: Sequence[GateGroup]) -> DedupResult:
+    """Collapse duplicate groups; first occurrence is kept as representative."""
+    unique: List[GateGroup] = []
+    counts: Counter = Counter()
+    index_of: Dict[bytes, int] = {}
+    for group in groups:
+        key = group.key()
+        counts[key] += 1
+        if key not in index_of:
+            index_of[key] = len(unique)
+            unique.append(group)
+    return DedupResult(unique=unique, counts=counts, index_of=index_of)
+
+
+def merge_dedups(results: Sequence[DedupResult]) -> DedupResult:
+    """Union of several dedup results (profiling across many programs)."""
+    unique: List[GateGroup] = []
+    counts: Counter = Counter()
+    index_of: Dict[bytes, int] = {}
+    for result in results:
+        for group in result.unique:
+            key = group.key()
+            if key not in index_of:
+                index_of[key] = len(unique)
+                unique.append(group)
+        counts.update(result.counts)
+    return DedupResult(unique=unique, counts=counts, index_of=index_of)

@@ -1,0 +1,91 @@
+"""Gate groups: the unit AccQOC compiles to a pulse.
+
+A group is a contiguous sub-circuit over at most ``bit_constraint`` qubits
+and ``layer_constraint`` DAG layers (the paper's ``2bnl`` cataloguing). The
+group's unitary — expressed on its local wires — is what GRAPE targets and
+what the similarity functions compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.canonical import canonical_key
+from repro.circuits.gates import Gate
+from repro.circuits.unitary import group_unitary, local_qubit_order
+
+
+@dataclass
+class GateGroup:
+    """A compilable group of gates.
+
+    Attributes
+    ----------
+    gates:
+        Gates in program order, on *circuit* qubit labels.
+    qubits:
+        Circuit qubits the group touches, ascending; local wire ``i`` of the
+        group matrix is ``qubits[i]``.
+    node_indices:
+        Indices of the member gates in the source circuit (for scheduling).
+    """
+
+    gates: List[Gate]
+    qubits: Tuple[int, ...] = ()
+    node_indices: Tuple[int, ...] = ()
+    _matrix: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _key: Optional[bytes] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.gates:
+            raise ValueError("empty group")
+        derived = tuple(local_qubit_order(self.gates))
+        if not self.qubits:
+            self.qubits = derived
+        elif tuple(sorted(self.qubits)) != derived:
+            raise ValueError(
+                f"declared qubits {self.qubits} do not match gates {derived}"
+            )
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def dim(self) -> int:
+        return 2**self.n_qubits
+
+    def matrix(self) -> np.ndarray:
+        """Unitary on local wires (cached)."""
+        if self._matrix is None:
+            self._matrix = group_unitary(self.gates, self.qubits)
+        return self._matrix
+
+    def key(self) -> bytes:
+        """Dedup key: matrix modulo global phase and wire permutation."""
+        if self._key is None:
+            self._key = canonical_key(self.matrix())
+        return self._key
+
+    def gate_names(self) -> List[str]:
+        return [g.name for g in self.gates]
+
+    def local_gates(self) -> List[Gate]:
+        """Member gates relabelled onto local wires 0..k-1."""
+        index = {q: i for i, q in enumerate(self.qubits)}
+        return [g.remap(index) for g in self.gates]
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GateGroup {self.n_gates} gates on qubits {list(self.qubits)}>"
+        )

@@ -1,0 +1,48 @@
+"""Algorithm 2 (Layer Dividing): slice bit-bounded subgroups by depth.
+
+Each node is labelled with its global ASAP depth (Algorithm 2, line 3). A
+subgroup spanning many layers is cut into segments of ``layer_constraint``
+consecutive depth levels, measured from the subgroup's shallowest node. (The
+paper's pseudocode loop is garbled in the PDF; the stated intent — "divide
+nodes within each subgroup into smaller groups based on this labeled depth",
+n layers per group — is what we implement.)
+
+Given that Algorithm 1 produces an acyclic group graph, depth-monotone
+slicing preserves acyclicity: every dependency edge increases depth, so edges
+between segments of one subgroup always point to later segments, and a
+segment-level cycle would require a group-level cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDAG
+
+
+def layer_partition(
+    circuit: Circuit,
+    subgroups: Sequence[Sequence[int]],
+    layer_constraint: int,
+) -> List[List[int]]:
+    """Split each subgroup into segments of <= ``layer_constraint`` layers.
+
+    Returns lists of gate indices, ordered by first gate index.
+    """
+    if layer_constraint < 1:
+        raise ValueError("layer_constraint must be >= 1")
+    dag = CircuitDAG(circuit)
+    out: List[List[int]] = []
+    for subgroup in subgroups:
+        if not subgroup:
+            continue
+        start_depth = min(dag.depth_of(node) for node in subgroup)
+        segments: Dict[int, List[int]] = {}
+        for node in subgroup:
+            chunk = (dag.depth_of(node) - start_depth) // layer_constraint
+            segments.setdefault(chunk, []).append(node)
+        for chunk in sorted(segments):
+            out.append(sorted(segments[chunk]))
+    out.sort(key=lambda nodes: nodes[0])
+    return out

@@ -1,0 +1,101 @@
+"""The six grouping policies of Table I: {map, swap} x {2b2l, 2b3l, 2b4l}.
+
+A policy fixes (a) how SWAPs inserted by the mapper are treated — decomposed
+into three CNOTs before grouping ("map", Sec IV-F: the CNOTs are more
+flexible and may cancel) or kept as native operations ("swap") — and (b) the
+``2bnl`` catalogue parameters: at most 2 qubits and n layers per group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.grouping.bit_partition import bit_partition
+from repro.grouping.group import GateGroup
+from repro.grouping.layer_partition import layer_partition
+from repro.mapping.swaps import decompose_swaps
+from repro.mapping.topology import Topology
+
+
+@dataclass(frozen=True)
+class GroupingPolicy:
+    """One row of Table I."""
+
+    name: str
+    swap_handling: str  # "map" (decompose) or "swap" (native)
+    bit_constraint: int
+    layer_constraint: int
+
+    def __post_init__(self) -> None:
+        if self.swap_handling not in ("map", "swap"):
+            raise ValueError(f"bad swap handling {self.swap_handling!r}")
+
+    @property
+    def label(self) -> str:
+        return f"{self.swap_handling}{self.bit_constraint}b{self.layer_constraint}l"
+
+
+def make_policy(label: str) -> GroupingPolicy:
+    """Parse labels like ``map2b4l`` / ``swap2b3l`` into a policy."""
+    for prefix in ("map", "swap"):
+        if label.startswith(prefix):
+            rest = label[len(prefix):]
+            try:
+                bits, layers = rest.split("b")
+                return GroupingPolicy(
+                    name=label,
+                    swap_handling=prefix,
+                    bit_constraint=int(bits),
+                    layer_constraint=int(layers.rstrip("l")),
+                )
+            except ValueError as exc:
+                raise ValueError(f"cannot parse policy label {label!r}") from exc
+    raise ValueError(f"cannot parse policy label {label!r}")
+
+
+ALL_POLICIES: Tuple[GroupingPolicy, ...] = tuple(
+    make_policy(f"{handling}2b{layers}l")
+    for handling in ("map", "swap")
+    for layers in (2, 3, 4)
+)
+
+DEFAULT_POLICY = make_policy("map2b4l")  # best performer in the paper (Sec I)
+
+
+def prepare_circuit(
+    circuit: Circuit,
+    policy: GroupingPolicy,
+    topology: Optional[Topology] = None,
+) -> Circuit:
+    """Apply the policy's swap handling to a mapped physical circuit.
+
+    The result feeds *grouping*, which compiles matrices — CNOT direction is
+    free there, so swaps decompose into bare CNOTs regardless of topology.
+    (The gate-based baseline fixes directions separately; see
+    :func:`repro.mapping.swaps.fix_directions`.)
+    """
+    if policy.swap_handling == "map":
+        return decompose_swaps(circuit)
+    return circuit
+
+
+def group_circuit(
+    circuit: Circuit,
+    policy: GroupingPolicy,
+    topology: Optional[Topology] = None,
+) -> List[GateGroup]:
+    """Run Algorithms 1 and 2 under ``policy`` on a mapped circuit.
+
+    Returns groups in first-gate order; each group's ``node_indices`` refer to
+    the post-swap-handling circuit (retrievable via :func:`prepare_circuit`).
+    """
+    prepared = prepare_circuit(circuit, policy, topology)
+    subgroups = bit_partition(prepared, policy.bit_constraint)
+    segments = layer_partition(prepared, subgroups, policy.layer_constraint)
+    groups = []
+    for nodes in segments:
+        gates = [prepared[i] for i in nodes]
+        groups.append(GateGroup(gates=gates, node_indices=tuple(nodes)))
+    return groups

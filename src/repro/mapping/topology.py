@@ -1,0 +1,166 @@
+"""Hardware coupling graphs.
+
+The paper maps everything onto the 14-qubit IBM Q Melbourne chip (Fig 10),
+whose two-qubit gates are directed (CNOT allowed one way per edge). We encode
+the published coupling map, plus a 16-qubit extension of the same ladder shape
+for the one benchmark (qft_16) that needs more than 14 qubits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Directed coupling graph of a device.
+
+    ``edges`` are (control, target) pairs where a native CNOT is allowed.
+    Adjacency and distances are taken on the undirected skeleton; executing a
+    CNOT against the arrow costs four extra Hadamards (handled by the mapper).
+    """
+
+    name: str
+    n_qubits: int
+    edges: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for a, b in self.edges:
+            if not (0 <= a < self.n_qubits and 0 <= b < self.n_qubits):
+                raise ValueError(f"edge ({a},{b}) out of range")
+            if a == b:
+                raise ValueError(f"self-loop on qubit {a}")
+
+    # Cached derived structures (frozen dataclass, so compute lazily).
+    def graph(self) -> nx.Graph:
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n_qubits))
+        g.add_edges_from(self.edges)
+        return g
+
+    def undirected_edges(self) -> FrozenSet[FrozenSet[int]]:
+        return frozenset(frozenset(e) for e in self.edges)
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return frozenset((a, b)) in self.undirected_edges()
+
+    def allowed_direction(self, control: int, target: int) -> bool:
+        """True when a native CNOT control->target exists."""
+        return (control, target) in set(self.edges)
+
+    def distances(self) -> Dict[int, Dict[int, int]]:
+        """All-pairs shortest-path distances on the undirected skeleton."""
+        return {
+            src: dict(lengths)
+            for src, lengths in nx.all_pairs_shortest_path_length(self.graph())
+        }
+
+    def neighbors(self, q: int) -> List[int]:
+        return sorted(self.graph().neighbors(q))
+
+
+class CachedTopology:
+    """Topology wrapper that precomputes adjacency and distance tables.
+
+    The A* mapper queries distances in its inner loop; the frozen dataclass
+    recomputing BFS per call would dominate runtime.
+    """
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self.name = topology.name
+        self.n_qubits = topology.n_qubits
+        self.directed_edges = set(topology.edges)
+        self.edge_set = {frozenset(e) for e in topology.edges}
+        self.dist = topology.distances()
+        self.adjacency: Dict[int, List[int]] = {
+            q: topology.neighbors(q) for q in range(topology.n_qubits)
+        }
+        self.undirected_edge_list: List[Tuple[int, int]] = sorted(
+            tuple(sorted(e)) for e in self.edge_set
+        )
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return frozenset((a, b)) in self.edge_set
+
+    def allowed_direction(self, control: int, target: int) -> bool:
+        return (control, target) in self.directed_edges
+
+    def distance(self, a: int, b: int) -> int:
+        return self.dist[a][b]
+
+
+# Published IBM Q Melbourne coupling map (control, target), cf. paper Fig 10.
+MELBOURNE_EDGES: Tuple[Tuple[int, int], ...] = (
+    (1, 0),
+    (1, 2),
+    (2, 3),
+    (4, 3),
+    (4, 10),
+    (5, 4),
+    (5, 6),
+    (5, 9),
+    (6, 8),
+    (7, 8),
+    (9, 8),
+    (9, 10),
+    (11, 3),
+    (11, 10),
+    (11, 12),
+    (12, 2),
+    (13, 1),
+    (13, 12),
+)
+
+
+def melbourne() -> Topology:
+    """The 14-qubit IBM Q Melbourne device used throughout the paper."""
+    return Topology("melbourne", 14, MELBOURNE_EDGES)
+
+
+def melbourne16() -> Topology:
+    """A 16-qubit ladder extending Melbourne's shape, for qft_16.
+
+    Two extra qubits (14, 15) are appended at the right end of the ladder,
+    keeping the alternating edge directions of the original chip.
+    """
+    extra = ((6, 14), (15, 14), (15, 7))
+    return Topology("melbourne16", 16, MELBOURNE_EDGES + extra)
+
+
+def line(n: int) -> Topology:
+    """A 1-D chain, handy for tests (alternating directions)."""
+    edges = tuple(
+        (i, i + 1) if i % 2 == 0 else (i + 1, i) for i in range(n - 1)
+    )
+    return Topology(f"line{n}", n, edges)
+
+
+def fully_connected(n: int) -> Topology:
+    """All-to-all device (mapping becomes a no-op); for unit tests."""
+    edges = tuple((a, b) for a in range(n) for b in range(n) if a < b)
+    return Topology(f"full{n}", n, edges)
+
+
+def get_topology(name: str) -> Topology:
+    registry = {
+        "melbourne": melbourne,
+        "melbourne16": melbourne16,
+    }
+    if name in registry:
+        return registry[name]()
+    raise KeyError(f"unknown topology {name!r}")
+
+
+def topology_for(n_logical_qubits: int) -> Topology:
+    """Smallest registered device fitting a program (paper default Melbourne)."""
+    if n_logical_qubits <= 14:
+        return melbourne()
+    if n_logical_qubits <= 16:
+        return melbourne16()
+    raise ValueError(
+        f"no registered device with >= {n_logical_qubits} qubits"
+    )

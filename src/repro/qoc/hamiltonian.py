@@ -1,0 +1,105 @@
+"""Control model: drift and control Hamiltonians of the simulated device.
+
+The paper verifies its flow on "a model of a two-level spin qubit
+(omega/2pi: 3.9 GHz)" (Sec IV-D). We work in the rotating frame at the qubit
+frequency, so the drift vanishes and the controls are:
+
+* per qubit: bounded X and Y drive (resonant microwave quadratures);
+* per neighbouring qubit pair in a group: a bounded, tunable XX coupler
+  (the entangling resource; cross-resonance-like).
+
+Units: hbar = 1, time in nanoseconds, Hamiltonian entries in rad/ns. With a
+piecewise-constant amplitude u on control C for time t, the evolution is
+``exp(-i u t C)``; since C has unit-norm Pauli structure, a pi rotation takes
+``u * t = pi/2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.config import PhysicsConfig
+from repro.utils.linalg import embed_unitary
+
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+
+@dataclass(frozen=True)
+class ControlTerm:
+    """One controllable Hamiltonian term with a symmetric amplitude bound."""
+
+    label: str
+    matrix: np.ndarray
+    bound: float  # |u| <= bound, in rad/ns
+
+    def __hash__(self) -> int:  # matrices are not hashable; label is unique
+        return hash(self.label)
+
+
+class ControlModel:
+    """Drift + control Hamiltonians for an ``n_qubits``-wire group.
+
+    The coupler chain follows wire order (0-1, 1-2, ...), which matches the
+    grouping layer's convention that group wires are adjacent physical qubits.
+    """
+
+    def __init__(self, n_qubits: int, physics: PhysicsConfig = PhysicsConfig()):
+        if n_qubits < 1:
+            raise ValueError("need at least one qubit")
+        self.n_qubits = n_qubits
+        self.physics = physics
+        self.dim = 2**n_qubits
+        self.drift = np.zeros((self.dim, self.dim), dtype=complex)
+        self.controls: List[ControlTerm] = []
+        for q in range(n_qubits):
+            self.controls.append(
+                ControlTerm(
+                    f"X{q}",
+                    embed_unitary(_X, (q,), n_qubits),
+                    physics.drive_max,
+                )
+            )
+            self.controls.append(
+                ControlTerm(
+                    f"Y{q}",
+                    embed_unitary(_Y, (q,), n_qubits),
+                    physics.drive_max,
+                )
+            )
+        for q in range(n_qubits - 1):
+            xx = embed_unitary(np.kron(_X, _X), (q, q + 1), n_qubits)
+            self.controls.append(
+                ControlTerm(f"XX{q}{q + 1}", xx, physics.coupling_max)
+            )
+
+    @property
+    def n_controls(self) -> int:
+        return len(self.controls)
+
+    @property
+    def labels(self) -> List[str]:
+        return [c.label for c in self.controls]
+
+    def bounds(self) -> np.ndarray:
+        """Per-control amplitude bound, shape (n_controls,)."""
+        return np.array([c.bound for c in self.controls])
+
+    def control_matrices(self) -> np.ndarray:
+        """Stacked control Hamiltonians, shape (n_controls, dim, dim)."""
+        return np.stack([c.matrix for c in self.controls])
+
+    def hamiltonian(self, amplitudes: Sequence[float]) -> np.ndarray:
+        """Total Hamiltonian for one time slice."""
+        amplitudes = np.asarray(amplitudes, dtype=float)
+        if amplitudes.shape != (self.n_controls,):
+            raise ValueError(
+                f"expected {self.n_controls} amplitudes, got {amplitudes.shape}"
+            )
+        h = self.drift.copy()
+        for amp, term in zip(amplitudes, self.controls):
+            h += amp * term.matrix
+        return h

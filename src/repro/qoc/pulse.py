@@ -1,0 +1,90 @@
+"""Pulse container: the artifact pre-compilation caches and reuses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Pulse:
+    """A piecewise-constant control pulse.
+
+    ``amplitudes[k, j]`` is the amplitude of control ``j`` during slice ``k``;
+    slices are ``dt`` nanoseconds long. The latency of the pulse — the
+    quantity Algorithm 3 schedules — is ``n_steps * dt``.
+    """
+
+    amplitudes: np.ndarray  # shape (n_steps, n_controls)
+    dt: float
+    control_labels: List[str] = field(default_factory=list)
+    n_qubits: int = 0
+    infidelity: float = float("nan")
+
+    def __post_init__(self) -> None:
+        self.amplitudes = np.atleast_2d(np.asarray(self.amplitudes, dtype=float))
+        if self.control_labels and len(self.control_labels) != self.amplitudes.shape[1]:
+            raise ValueError("control label count does not match amplitude columns")
+
+    @property
+    def n_steps(self) -> int:
+        return self.amplitudes.shape[0]
+
+    @property
+    def n_controls(self) -> int:
+        return self.amplitudes.shape[1]
+
+    @property
+    def duration(self) -> float:
+        """Latency in nanoseconds."""
+        return self.n_steps * self.dt
+
+    def resampled(self, n_steps: int) -> "Pulse":
+        """Linear-interpolation resample onto ``n_steps`` slices of equal total span.
+
+        This is how a cached pulse seeds GRAPE for a different latency probe:
+        the waveform shape is preserved, the time axis is stretched.
+        """
+        if n_steps < 1:
+            raise ValueError("n_steps must be positive")
+        old = self.amplitudes
+        if n_steps == self.n_steps:
+            return Pulse(
+                old.copy(), self.dt, list(self.control_labels), self.n_qubits,
+                self.infidelity,
+            )
+        src = np.linspace(0.0, 1.0, self.n_steps)
+        dst = np.linspace(0.0, 1.0, n_steps)
+        resampled = np.column_stack(
+            [np.interp(dst, src, old[:, j]) for j in range(self.n_controls)]
+        )
+        return Pulse(
+            resampled, self.dt, list(self.control_labels), self.n_qubits,
+            float("nan"),
+        )
+
+    def energy(self) -> float:
+        """Integrated squared amplitude (a smoothness/actuation proxy)."""
+        return float(np.sum(self.amplitudes**2) * self.dt)
+
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> Dict:
+        return {
+            "amplitudes": self.amplitudes.tolist(),
+            "dt": self.dt,
+            "control_labels": list(self.control_labels),
+            "n_qubits": self.n_qubits,
+            "infidelity": self.infidelity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Pulse":
+        return cls(
+            amplitudes=np.asarray(data["amplitudes"], dtype=float),
+            dt=float(data["dt"]),
+            control_labels=list(data.get("control_labels", [])),
+            n_qubits=int(data.get("n_qubits", 0)),
+            infidelity=float(data.get("infidelity", float("nan"))),
+        )

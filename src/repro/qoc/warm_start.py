@@ -1,0 +1,65 @@
+"""Warm-start helpers: seed GRAPE from a similar group's cached pulse.
+
+AccQOC's key insight (Sec V): "the pulse of a group can be generated faster
+based on the generated pulse of a similar group". Mechanically the cached
+pulse becomes the optimizer's initial point after being resampled to the new
+probe's slice count — and, when the source group was stored under a permuted
+wire order, after permuting the drive lines accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.qoc.pulse import Pulse
+
+
+def warm_start_pulse(source: Pulse, n_steps: int) -> Pulse:
+    """Resample a cached pulse to the probe's step count."""
+    return source.resampled(n_steps)
+
+
+def permute_pulse_wires(pulse: Pulse, perm: Sequence[int]) -> Pulse:
+    """Relabel drive lines: wire ``i`` of the source becomes ``perm[i]``.
+
+    Control columns are named (X0, Y0, X1, Y1, ..., XX01, ...); the
+    permutation rewrites the qubit indices inside the labels and reorders
+    columns to the canonical label order of the permuted model.
+    """
+    perm = list(perm)
+    labels = pulse.control_labels
+    if not labels:
+        raise ValueError("pulse has no control labels; cannot permute wires")
+
+    def permute_label(label: str) -> str:
+        if label.startswith("XX"):
+            a, b = sorted((perm[int(label[2])], perm[int(label[3])]))
+            return f"XX{a}{b}"
+        kind, q = label[0], int(label[1:])
+        return f"{kind}{perm[q]}"
+
+    new_names = [permute_label(name) for name in labels]
+    order = _canonical_label_order(pulse.n_qubits)
+    column_of = {name: i for i, name in enumerate(new_names)}
+    missing = [name for name in order if name not in column_of]
+    if missing:
+        raise ValueError(f"pulse lacks controls {missing} after permutation")
+    amplitudes = pulse.amplitudes[:, [column_of[name] for name in order]]
+    return Pulse(
+        amplitudes=amplitudes,
+        dt=pulse.dt,
+        control_labels=order,
+        n_qubits=pulse.n_qubits,
+        infidelity=pulse.infidelity,
+    )
+
+
+def _canonical_label_order(n_qubits: int) -> List[str]:
+    out: List[str] = []
+    for q in range(n_qubits):
+        out.extend((f"X{q}", f"Y{q}"))
+    for q in range(n_qubits - 1):
+        out.append(f"XX{q}{q + 1}")
+    return out

@@ -1,0 +1,117 @@
+"""Weyl-chamber (KAK) coordinates of two-qubit unitaries.
+
+Any U in SU(4) decomposes as ``U = k1 exp(i(c1 XX + c2 YY + c3 ZZ)) k2`` with
+local k1, k2. The coordinates (c1, c2, c3) are the *interaction content*: a
+device whose entangling resource has strength ``g`` needs at least
+``(c1 + c2 + c3) / g`` of interaction time to realize U (single-qubit drives
+are comparatively fast). The fast latency estimator builds on this bound.
+
+Extraction uses the magic-basis spectrum: with ``M = B^dag U B`` (B the magic
+basis) and ``gamma = M^T M``, the eigenphases of gamma are ``2 lambda_k``
+where ``lambda = (c1-c2+c3, -c1+c2+c3, c1+c2-c3, -c1-c2-c3)``. Branch and
+ordering ambiguities are resolved by brute force over permutations and
+2-pi shifts subject to ``sum(lambda) = 0 (mod 2pi)``; the minimal folded
+coordinate vector is returned. Folding into ``[0, pi/4]`` merges mirror
+classes — fine for *time estimates*, which is this module's purpose.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Tuple
+
+import numpy as np
+
+# Magic basis (columns are Bell-like states), standard convention.
+_MAGIC = (
+    np.array(
+        [
+            [1, 0, 0, 1j],
+            [0, 1j, 1, 0],
+            [0, 1j, -1, 0],
+            [1, 0, 0, -1j],
+        ],
+        dtype=complex,
+    )
+    / np.sqrt(2.0)
+)
+
+_PI = np.pi
+
+
+def _to_su4(u: np.ndarray) -> np.ndarray:
+    det = np.linalg.det(u)
+    return u * det ** (-0.25)
+
+
+def weyl_coordinates(u: np.ndarray, atol: float = 1e-7) -> Tuple[float, float, float]:
+    """Folded Weyl coordinates (c1 >= c2 >= c3 >= 0, each <= pi/4).
+
+    Identity -> (0,0,0); CNOT/CZ -> (pi/4,0,0); iSWAP -> (pi/4,pi/4,0);
+    SWAP -> (pi/4,pi/4,pi/4). Invariant under single-qubit rotations.
+    """
+    if u.shape != (4, 4):
+        raise ValueError("weyl_coordinates needs a 4x4 unitary")
+    su = _to_su4(np.asarray(u, dtype=complex))
+    m = _MAGIC.conj().T @ su @ _MAGIC
+    gamma = m.T @ m
+    phases = np.angle(np.linalg.eigvals(gamma))  # 2*lambda_k mod 2pi
+
+    best: Tuple[float, float, float] = (_PI / 4, _PI / 4, _PI / 4)
+    best_sum = 3 * _PI / 4 + 1.0
+    found = False
+    half = phases / 2.0  # lambda_k mod pi
+    for perm in itertools.permutations(range(4)):
+        lam_base = half[list(perm)]
+        for shifts in itertools.product((0, 1), repeat=4):
+            lam = lam_base + _PI * np.asarray(shifts)
+            total = lam.sum()
+            if abs(_wrap(total, 2 * _PI)) > 1e-5:
+                continue
+            c1 = (lam[0] + lam[2]) / 2.0
+            c2 = (lam[1] + lam[2]) / 2.0
+            c3 = (lam[0] + lam[1]) / 2.0
+            folded = _fold((c1, c2, c3))
+            found = True
+            s = sum(folded)
+            if s < best_sum - atol:
+                best_sum = s
+                best = folded
+    if not found:
+        raise ArithmeticError("no consistent branch assignment found")
+    return best
+
+
+def _wrap(x: float, period: float) -> float:
+    """Wrap into (-period/2, period/2]."""
+    y = (x + period / 2.0) % period - period / 2.0
+    return y
+
+
+def _fold(c: Tuple[float, float, float]) -> Tuple[float, float, float]:
+    """Fold each coordinate into [0, pi/4], then sort descending."""
+    out = []
+    for value in c:
+        v = abs(_wrap(value, _PI))  # into [0, pi/2]
+        if v > _PI / 4:
+            v = _PI / 2 - v
+        out.append(v)
+    out.sort(reverse=True)
+    return (out[0], out[1], out[2])
+
+
+def interaction_content(u: np.ndarray) -> float:
+    """c1 + c2 + c3: the scalar the minimal-time bound consumes."""
+    return float(sum(weyl_coordinates(u)))
+
+
+def rotation_angle(u: np.ndarray) -> float:
+    """SU(2) rotation angle of a single-qubit unitary, in [0, pi].
+
+    ``U ~ exp(-i theta/2 n.sigma)`` up to phase; theta = 2 acos(|tr U| / 2).
+    """
+    if u.shape != (2, 2):
+        raise ValueError("rotation_angle needs a 2x2 unitary")
+    half_trace = abs(np.trace(u)) / 2.0
+    half_trace = min(half_trace, 1.0)
+    return float(2.0 * np.arccos(half_trace))

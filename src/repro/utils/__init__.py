@@ -1,0 +1,26 @@
+"""Shared utilities: linear algebra helpers, seeded RNG, configuration."""
+
+from repro.utils.config import PhysicsConfig, RunConfig
+from repro.utils.linalg import (
+    dagger,
+    embed_unitary,
+    global_phase_normalize,
+    is_unitary,
+    kron_all,
+    matrices_close,
+    random_unitary,
+)
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "PhysicsConfig",
+    "RunConfig",
+    "dagger",
+    "embed_unitary",
+    "global_phase_normalize",
+    "is_unitary",
+    "kron_all",
+    "matrices_close",
+    "random_unitary",
+    "derive_rng",
+]

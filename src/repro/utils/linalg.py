@@ -1,0 +1,138 @@
+"""Linear-algebra helpers used across the circuit, QOC and similarity layers.
+
+Conventions
+-----------
+* Qubit 0 is the *least significant* bit of a computational-basis index:
+  basis state ``|q_{n-1} ... q_1 q_0>`` has index ``sum_k q_k << k``.
+* All unitaries are dense complex128 numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+ATOL = 1e-9
+
+
+def dagger(matrix: np.ndarray) -> np.ndarray:
+    """Conjugate transpose."""
+    return matrix.conj().T
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Return True when ``matrix`` is unitary within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(dagger(matrix) @ matrix, identity, atol=atol))
+
+
+def kron_all(matrices) -> np.ndarray:
+    """Kronecker product of a sequence of matrices, left to right.
+
+    ``kron_all([A, B])`` returns ``A (x) B`` so the *first* matrix acts on the
+    most significant qubit.
+    """
+    out = np.array([[1.0 + 0.0j]])
+    for matrix in matrices:
+        out = np.kron(out, matrix)
+    return out
+
+
+def embed_unitary(gate_matrix: np.ndarray, qubits, n_qubits: int) -> np.ndarray:
+    """Embed a k-qubit gate acting on ``qubits`` into an ``n_qubits`` space.
+
+    ``qubits`` orders the gate's own wires: ``qubits[0]`` is the gate's qubit 0
+    (least significant bit of the *gate* matrix index). Works for arbitrary,
+    possibly non-adjacent and permuted wire assignments.
+    """
+    qubits = list(qubits)
+    k = len(qubits)
+    if gate_matrix.shape != (2**k, 2**k):
+        raise ValueError(
+            f"gate on {k} qubits needs a {2 ** k}x{2 ** k} matrix, "
+            f"got {gate_matrix.shape}"
+        )
+    if len(set(qubits)) != k:
+        raise ValueError(f"duplicate qubits in {qubits}")
+    if any(q < 0 or q >= n_qubits for q in qubits):
+        raise ValueError(f"qubits {qubits} out of range for n={n_qubits}")
+
+    dim = 2**n_qubits
+    out = np.zeros((dim, dim), dtype=complex)
+    rest = [q for q in range(n_qubits) if q not in qubits]
+    # Iterate over the gate's subspace and the untouched subspace separately.
+    for rest_bits in range(2 ** len(rest)):
+        base = 0
+        for pos, q in enumerate(rest):
+            if (rest_bits >> pos) & 1:
+                base |= 1 << q
+        for col_local in range(2**k):
+            col = base
+            for pos, q in enumerate(qubits):
+                if (col_local >> pos) & 1:
+                    col |= 1 << q
+            for row_local in range(2**k):
+                amp = gate_matrix[row_local, col_local]
+                if amp == 0:
+                    continue
+                row = base
+                for pos, q in enumerate(qubits):
+                    if (row_local >> pos) & 1:
+                        row |= 1 << q
+                out[row, col] = amp
+    return out
+
+
+def global_phase_normalize(matrix: np.ndarray) -> np.ndarray:
+    """Remove the global phase: rotate so the largest-magnitude entry is real positive.
+
+    Using the largest entry (instead of the first nonzero) makes the
+    normalization numerically stable under small perturbations, which is what
+    the dedup layer needs for hash keys.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    flat_index = int(np.argmax(np.abs(matrix)))
+    pivot = matrix.flat[flat_index]
+    if abs(pivot) < ATOL:
+        return matrix.copy()
+    phase = pivot / abs(pivot)
+    return matrix / phase
+
+
+def matrices_close(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-7, up_to_phase: bool = True
+) -> bool:
+    """Compare two matrices, optionally modulo global phase.
+
+    Phase alignment uses the inner product <a, b> (the optimal rotation of b
+    onto a), not per-matrix pivot normalization: independent pivots can
+    disagree between two nearly-equal matrices with tied entry magnitudes.
+    """
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    if up_to_phase:
+        inner = np.vdot(a, b)
+        if abs(inner) > ATOL:
+            b = b * (inner.conjugate() / abs(inner))
+    return bool(np.allclose(a, b, atol=atol))
+
+
+def random_unitary(dim: int, rng: np.random.Generator) -> np.ndarray:
+    """Haar-random unitary via QR decomposition of a complex Ginibre matrix."""
+    z = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(z)
+    # Fix the phases so the distribution is Haar.
+    d = np.diag(r)
+    q = q * (d / np.abs(d))
+    return q
+
+
+def trace_fidelity(u: np.ndarray, v: np.ndarray) -> float:
+    """Phase-invariant process fidelity |Tr(U^dag V)|^2 / d^2 in [0, 1]."""
+    d = u.shape[0]
+    overlap = np.trace(dagger(u) @ v)
+    return float(abs(overlap) ** 2 / d**2)

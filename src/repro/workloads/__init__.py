@@ -1,0 +1,50 @@
+"""Benchmark workloads: QFT/GSE, reversible arithmetic, RevLib-like suite."""
+
+from repro.workloads.arithmetic import (
+    cuccaro_adder,
+    emit_toffoli,
+    gray_code_walker,
+    hidden_weight_bit,
+    toffoli_network,
+)
+from repro.workloads.mixes import (
+    PAPER_SUITE_AVERAGE,
+    PAPER_TABLE2,
+    TABLE2_COLUMNS,
+    instruction_mix,
+    mix_percentages,
+    suite_average_percentages,
+)
+from repro.workloads.qft import controlled_phase, gse, qft
+from repro.workloads.revlib_like import (
+    NAMED_BENCHMARKS,
+    TABLE2_PROGRAMS,
+    build_named,
+    random_suite_program,
+)
+from repro.workloads.suite import SUITE_SIZE, evaluation_programs, full_suite, small_suite
+
+__all__ = [
+    "cuccaro_adder",
+    "emit_toffoli",
+    "gray_code_walker",
+    "hidden_weight_bit",
+    "toffoli_network",
+    "PAPER_SUITE_AVERAGE",
+    "PAPER_TABLE2",
+    "TABLE2_COLUMNS",
+    "instruction_mix",
+    "mix_percentages",
+    "suite_average_percentages",
+    "controlled_phase",
+    "gse",
+    "qft",
+    "NAMED_BENCHMARKS",
+    "TABLE2_PROGRAMS",
+    "build_named",
+    "random_suite_program",
+    "SUITE_SIZE",
+    "evaluation_programs",
+    "full_suite",
+    "small_suite",
+]

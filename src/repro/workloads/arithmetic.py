@@ -1,0 +1,136 @@
+"""Reversible arithmetic workloads: Toffoli networks in the {t, h, cx} basis.
+
+RevLib circuits are overwhelmingly Toffoli networks; decomposed for quantum
+hardware, every Toffoli contributes 6 cx, 2 h, 4 t and 3 tdg — exactly the
+instruction-mix fingerprint of Table II. These generators emit that basis
+directly so Table II regenerates from gate counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.circuits.circuit import Circuit
+
+
+def emit_toffoli(circuit: Circuit, a: int, b: int, c: int) -> None:
+    """Standard 15-gate Toffoli on (control a, control b, target c)."""
+    circuit.add("h", c)
+    circuit.add("cx", b, c)
+    circuit.add("tdg", c)
+    circuit.add("cx", a, c)
+    circuit.add("t", c)
+    circuit.add("cx", b, c)
+    circuit.add("tdg", c)
+    circuit.add("cx", a, c)
+    circuit.add("t", b)
+    circuit.add("t", c)
+    circuit.add("h", c)
+    circuit.add("cx", a, b)
+    circuit.add("t", a)
+    circuit.add("tdg", b)
+    circuit.add("cx", a, b)
+
+
+def cuccaro_adder(n_bits: int, name: Optional[str] = None) -> Circuit:
+    """Cuccaro ripple-carry adder: a + b on registers A, B with carry wires.
+
+    Layout: qubit 0 = input carry, qubits 1..n = A, n+1..2n = B,
+    qubit 2n+1 = output carry. MAJ/UMA blocks built from cx + Toffoli.
+    """
+    if n_bits < 1:
+        raise ValueError("need at least one bit")
+    n = 2 * n_bits + 2
+    circuit = Circuit(n, name=name or f"adder_{n_bits}")
+    a = [1 + i for i in range(n_bits)]
+    b = [1 + n_bits + i for i in range(n_bits)]
+    carry_in, carry_out = 0, n - 1
+
+    def maj(x: int, y: int, z: int) -> None:
+        circuit.add("cx", z, y)
+        circuit.add("cx", z, x)
+        emit_toffoli(circuit, x, y, z)
+
+    def uma(x: int, y: int, z: int) -> None:
+        emit_toffoli(circuit, x, y, z)
+        circuit.add("cx", z, x)
+        circuit.add("cx", x, y)
+
+    maj(carry_in, b[0], a[0])
+    for i in range(1, n_bits):
+        maj(a[i - 1], b[i], a[i])
+    circuit.add("cx", a[n_bits - 1], carry_out)
+    for i in range(n_bits - 1, 0, -1):
+        uma(a[i - 1], b[i], a[i])
+    uma(carry_in, b[0], a[0])
+    return circuit
+
+
+def toffoli_network(
+    n_qubits: int,
+    n_toffoli: int,
+    n_cnot: int,
+    n_x: int,
+    seed_tag: str,
+    seed: int = 7,
+    name: Optional[str] = None,
+) -> Circuit:
+    """Random reversible function: shuffled Toffolis, CNOTs and NOTs.
+
+    This is the synthetic stand-in for RevLib's encoding/arithmetic/symmetric
+    functions: the same gate basis, density and connectivity statistics,
+    deterministically seeded per name.
+    """
+    from repro.utils.rng import derive_rng
+
+    if n_qubits < 3 and n_toffoli > 0:
+        raise ValueError("Toffolis need at least 3 qubits")
+    rng = derive_rng(f"toffoli-network:{seed_tag}", seed)
+    ops: List[Tuple[str, Tuple[int, ...]]] = []
+    ops += [("ccx", ())] * n_toffoli
+    ops += [("cx", ())] * n_cnot
+    ops += [("x", ())] * n_x
+    rng.shuffle(ops)
+    circuit = Circuit(n_qubits, name=name or f"rev_{seed_tag}")
+    for kind, _ in ops:
+        if kind == "ccx":
+            a, b, c = (int(q) for q in rng.choice(n_qubits, size=3, replace=False))
+            emit_toffoli(circuit, a, b, c)
+        elif kind == "cx":
+            a, b = (int(q) for q in rng.choice(n_qubits, size=2, replace=False))
+            circuit.add("cx", a, b)
+        else:
+            circuit.add("x", int(rng.integers(n_qubits)))
+    return circuit
+
+
+def gray_code_walker(n_qubits: int, cycles: int = 1,
+                     name: Optional[str] = None) -> Circuit:
+    """CNOT chain walking a Gray-code sequence (an encoding-function stand-in)."""
+    circuit = Circuit(n_qubits, name=name or f"gray_{n_qubits}")
+    for _ in range(cycles):
+        for i in range(n_qubits - 1):
+            circuit.add("cx", i, i + 1)
+        for i in range(n_qubits - 2, -1, -1):
+            circuit.add("cx", i + 1, i)
+    return circuit
+
+
+def hidden_weight_bit(n_qubits: int, rounds: int = 2,
+                      name: Optional[str] = None) -> Circuit:
+    """HWB-style permutation: rounds of controlled cyclic shifts.
+
+    Each round applies Toffoli-controlled neighbour swaps (built from 3 cx
+    with two Toffolis), approximating the hidden-weighted-bit benchmarks.
+    """
+    circuit = Circuit(n_qubits, name=name or f"hwb_{n_qubits}")
+    for round_index in range(rounds):
+        control = round_index % n_qubits
+        for i in range(n_qubits - 1):
+            a, b = (i, i + 1)
+            if control in (a, b):
+                continue
+            emit_toffoli(circuit, control, a, b)
+            circuit.add("cx", b, a)
+            emit_toffoli(circuit, control, a, b)
+    return circuit

@@ -1,0 +1,56 @@
+"""Instruction-mix accounting (paper Table II)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.circuits.circuit import Circuit
+
+TABLE2_COLUMNS = ("x", "t", "h", "cx", "rz", "tdg")
+
+# The paper's reported per-program counts (Table II), for comparison rows.
+PAPER_TABLE2: Dict[str, Dict[str, int]] = {
+    "4gt4-v0": {"x": 0, "t": 56, "h": 28, "cx": 105, "rz": 0, "tdg": 42},
+    "cm152a": {"x": 5, "t": 304, "h": 152, "cx": 532, "rz": 0, "tdg": 228},
+    "qft_10": {"x": 0, "t": 0, "h": 20, "cx": 90, "rz": 90, "tdg": 0},
+    "qft_16": {"x": 0, "t": 0, "h": 32, "cx": 240, "rz": 240, "tdg": 0},
+    "ex2": {"x": 5, "t": 156, "h": 78, "cx": 275, "rz": 0, "tdg": 117},
+    "f2": {"x": 6, "t": 300, "h": 150, "cx": 525, "rz": 0, "tdg": 225},
+}
+
+PAPER_SUITE_AVERAGE = {  # Table II "all" row (percent of gates)
+    "x": 0.1, "t": 22.0, "h": 15.0, "cx": 45.0, "rz": 1.1, "tdg": 17.0,
+}
+
+
+def instruction_mix(circuit: Circuit) -> Dict[str, int]:
+    """Gate counts restricted to the Table II columns (others reported too)."""
+    counts = Counter(g.name for g in circuit)
+    out = {col: counts.get(col, 0) for col in TABLE2_COLUMNS}
+    extras = {k: v for k, v in counts.items() if k not in TABLE2_COLUMNS}
+    out.update(extras)
+    return out
+
+
+def mix_percentages(circuit: Circuit) -> Dict[str, float]:
+    mix = instruction_mix(circuit)
+    total = sum(mix.values())
+    if total == 0:
+        return {col: 0.0 for col in TABLE2_COLUMNS}
+    return {col: 100.0 * mix.get(col, 0) / total for col in TABLE2_COLUMNS}
+
+
+def suite_average_percentages(programs: Sequence[Circuit]) -> Dict[str, float]:
+    """Gate-weighted average mix across a suite (Table II 'all' row)."""
+    totals: Counter = Counter()
+    grand_total = 0
+    for program in programs:
+        mix = instruction_mix(program)
+        totals.update(mix)
+        grand_total += sum(mix.values())
+    if grand_total == 0:
+        return {col: 0.0 for col in TABLE2_COLUMNS}
+    return {
+        col: 100.0 * totals.get(col, 0) / grand_total for col in TABLE2_COLUMNS
+    }

@@ -1,0 +1,48 @@
+"""The benchmark suite: 159 programs, as in the paper (Sec VI-A).
+
+Composition: the named Table II programs, QFT sizes, arithmetic and
+encoding functions, plus seeded random reversible networks filling the suite
+to 159 members. ``evaluation_programs()`` returns the sampled subset the
+figures report on (programs of 200-2000 gates plus the two QFTs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.circuits.circuit import Circuit
+from repro.workloads.revlib_like import (
+    NAMED_BENCHMARKS,
+    TABLE2_PROGRAMS,
+    build_named,
+    random_suite_program,
+)
+
+SUITE_SIZE = 159
+
+
+def full_suite(size: int = SUITE_SIZE, seed: int = 7) -> List[Circuit]:
+    """All suite programs, deterministically generated."""
+    programs: List[Circuit] = [build_named(name) for name in NAMED_BENCHMARKS]
+    index = 0
+    while len(programs) < size:
+        programs.append(random_suite_program(index, seed))
+        index += 1
+    return programs[:size]
+
+
+def evaluation_programs(seed: int = 7) -> List[Circuit]:
+    """The six Table II programs (what Figs 12 and 15 evaluate)."""
+    return [build_named(name) for name in TABLE2_PROGRAMS]
+
+
+def small_suite(n_programs: int = 12, seed: int = 7) -> List[Circuit]:
+    """A scaled-down suite for tests and fast benches: small named programs
+    plus a few random members, all <= 14 qubits and modest gate counts."""
+    names = ["4gt4-v0", "ex2", "qft_10", "adder_4", "gray_10", "hwb_6"]
+    programs = [build_named(name) for name in names]
+    index = 1000  # distinct seed stream from the full suite
+    while len(programs) < n_programs:
+        programs.append(random_suite_program(index, seed))
+        index += 1
+    return programs[:n_programs]

@@ -1,0 +1,56 @@
+"""Shared fixtures: deterministic RNGs, small circuits, fast configs."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.utils.config import PhysicsConfig, RunConfig
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture
+def rng():
+    return derive_rng("tests")
+
+
+@pytest.fixture
+def fast_run():
+    return RunConfig(max_iterations=200, time_budget_s=30.0)
+
+
+@pytest.fixture
+def physics():
+    return PhysicsConfig()
+
+
+@pytest.fixture
+def bell_circuit():
+    return Circuit(2, name="bell").add("h", 0).add("cx", 0, 1)
+
+
+@pytest.fixture
+def ghz_circuit():
+    return (
+        Circuit(3, name="ghz").add("h", 0).add("cx", 0, 1).add("cx", 1, 2)
+    )
+
+
+def random_circuit(n_qubits: int, n_gates: int, tag: str, two_qubit_prob=0.5):
+    """Deterministic random circuit of cx/u3 gates."""
+    gen = derive_rng(f"random-circuit:{tag}")
+    circ = Circuit(n_qubits, name=f"rand_{tag}")
+    for _ in range(n_gates):
+        if n_qubits >= 2 and gen.random() < two_qubit_prob:
+            a, b = gen.choice(n_qubits, size=2, replace=False)
+            circ.add("cx", int(a), int(b))
+        else:
+            circ.add(
+                "u3", int(gen.integers(n_qubits)),
+                params=tuple(gen.uniform(0, 3.0, 3)),
+            )
+    return circ
+
+
+@pytest.fixture
+def random_circuit_factory():
+    return random_circuit

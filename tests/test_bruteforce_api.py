@@ -1,0 +1,80 @@
+"""Brute-force QOC baseline and the top-level public API."""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import (
+    brute_force_compile,
+    brute_force_groups,
+    per_iteration_cost_units,
+)
+from repro.qoc.estimator import LatencyEstimator
+
+
+def _circuit():
+    from tests.conftest import random_circuit
+
+    return random_circuit(6, 60, "brute", two_qubit_prob=0.5)
+
+
+def test_groups_respect_cap():
+    c = _circuit()
+    for cap in (3, 5):
+        for group in brute_force_groups(c, max_qubits=cap):
+            assert group.n_qubits <= cap
+
+
+def test_groups_cover_circuit():
+    c = _circuit()
+    groups = brute_force_groups(c, max_qubits=5)
+    nodes = sorted(n for g in groups for n in g.node_indices)
+    assert nodes == list(range(len(c)))
+
+
+def test_larger_cap_fewer_groups():
+    c = _circuit()
+    assert len(brute_force_groups(c, 6)) <= len(brute_force_groups(c, 3))
+
+
+def test_compile_report():
+    report = brute_force_compile(_circuit(), max_qubits=5)
+    assert report.overall_latency > 0
+    assert report.compile_cost_units > 0
+    assert report.n_groups == len(report.groups)
+
+
+def test_per_iteration_cost_grows_with_dimension():
+    c = _circuit()
+    estimator = LatencyEstimator()
+    small = brute_force_groups(c, 2)
+    large = brute_force_groups(c, 6)
+    g_small = next(g for g in small if g.n_qubits == 2)
+    g_large = max(large, key=lambda g: g.n_qubits)
+    assert per_iteration_cost_units(
+        g_large.n_qubits, estimator, g_large
+    ) > per_iteration_cost_units(g_small.n_qubits, estimator, g_small)
+
+
+# ----------------------------------------------------------------- public API
+def test_top_level_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_readme_quickstart_shape():
+    """The README snippet must keep working."""
+    from repro import AccQOC, PipelineConfig, build_named, small_suite
+
+    acc = AccQOC(PipelineConfig(policy_name="map2b4l"))
+    acc.precompile(small_suite(3))
+    report = acc.compile(build_named("4gt4-v0"))
+    assert report.latency_reduction > 1.0
+    assert 0.0 <= report.coverage_rate <= 1.0

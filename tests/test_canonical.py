@@ -1,0 +1,88 @@
+"""Canonical keys: global phase and wire-permutation dedup."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.circuits.canonical import canonical_key, canonical_representative, matrix_key
+from repro.circuits.unitary import permute_qubits
+from repro.utils.linalg import random_unitary
+from repro.utils.rng import derive_rng
+
+
+def test_matrix_key_phase_invariant():
+    rng = derive_rng("canon-phase")
+    u = random_unitary(4, rng)
+    assert matrix_key(u) == matrix_key(u * np.exp(0.9j))
+
+
+def test_matrix_key_distinguishes_gates():
+    cx = Circuit(2).add("cx", 0, 1).unitary()
+    cz = Circuit(2).add("cz", 0, 1).unitary()
+    assert matrix_key(cx) != matrix_key(cz)
+
+
+def test_canonical_key_merges_permuted_cnots():
+    a = Circuit(2).add("cx", 0, 1).unitary()
+    b = Circuit(2).add("cx", 1, 0).unitary()
+    assert canonical_key(a) == canonical_key(b)
+    assert matrix_key(a) != matrix_key(b)  # raw keys differ
+
+
+def test_canonical_key_symmetric_gate():
+    cz = Circuit(2).add("cz", 0, 1).unitary()
+    assert canonical_key(cz) == canonical_key(permute_qubits(cz, (1, 0)))
+
+
+def test_canonical_representative_consistency():
+    rng = derive_rng("canon-rep")
+    u = random_unitary(4, rng)
+    canon, perm = canonical_representative(u)
+    # The representative is the permuted, phase-normalized matrix.
+    from repro.utils.linalg import global_phase_normalize, matrices_close
+
+    assert matrices_close(canon, permute_qubits(u, perm))
+    assert matrix_key(canon) == canonical_key(u)
+
+
+def test_permute_qubits_identity_perm():
+    rng = derive_rng("canon-permid")
+    u = random_unitary(4, rng)
+    assert np.allclose(permute_qubits(u, (0, 1)), u)
+
+
+def test_permute_qubits_involution_for_swap_perm():
+    rng = derive_rng("canon-inv")
+    u = random_unitary(4, rng)
+    assert np.allclose(permute_qubits(permute_qubits(u, (1, 0)), (1, 0)), u)
+
+
+def test_permute_qubits_rejects_bad_perm():
+    import pytest
+
+    with pytest.raises(ValueError):
+        permute_qubits(np.eye(4), (0, 0))
+    with pytest.raises(ValueError):
+        permute_qubits(np.eye(8), (0, 1))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_canonical_key_invariant_under_permutation_and_phase(seed):
+    rng = np.random.default_rng(seed)
+    u = random_unitary(4, rng)
+    transformed = permute_qubits(u, (1, 0)) * np.exp(1j * rng.uniform(0, 6.28))
+    assert canonical_key(u) == canonical_key(transformed)
+
+
+def test_single_qubit_canonical_equals_matrix_key():
+    rng = derive_rng("canon-1q")
+    u = random_unitary(2, rng)
+    assert canonical_key(u) == matrix_key(u)
+
+
+def test_rounding_merges_near_identical():
+    rng = derive_rng("canon-round")
+    u = random_unitary(4, rng)
+    assert canonical_key(u) == canonical_key(u + 1e-9)

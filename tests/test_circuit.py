@@ -1,0 +1,133 @@
+"""Circuit container: building, transforms, simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, Gate, gate
+from repro.utils.linalg import matrices_close
+
+
+def test_append_bounds_checked():
+    c = Circuit(2)
+    with pytest.raises(ValueError):
+        c.add("h", 2)
+
+
+def test_n_qubits_positive():
+    with pytest.raises(ValueError):
+        Circuit(0)
+
+
+def test_count_ops_and_two_qubit_count(bell_circuit):
+    assert bell_circuit.count_ops() == {"h": 1, "cx": 1}
+    assert bell_circuit.two_qubit_count() == 1
+
+
+def test_depth():
+    c = Circuit(3).add("h", 0).add("h", 1).add("cx", 0, 1).add("h", 2)
+    assert c.depth() == 2
+
+
+def test_depth_empty():
+    assert Circuit(1).depth() == 0
+
+
+def test_used_qubits():
+    c = Circuit(5).add("h", 3).add("cx", 1, 3)
+    assert c.used_qubits() == [1, 3]
+
+
+def test_equality():
+    a = Circuit(2).add("h", 0)
+    b = Circuit(2).add("h", 0)
+    assert a == b
+    assert a != Circuit(2).add("h", 1)
+
+
+def test_bell_statevector(bell_circuit):
+    sv = bell_circuit.statevector()
+    expected = np.zeros(4, dtype=complex)
+    expected[0] = expected[3] = 1 / np.sqrt(2)
+    assert np.allclose(sv, expected)
+
+
+def test_ghz_statevector(ghz_circuit):
+    sv = ghz_circuit.statevector()
+    assert abs(sv[0]) == pytest.approx(1 / np.sqrt(2))
+    assert abs(sv[7]) == pytest.approx(1 / np.sqrt(2))
+
+
+def test_unitary_refuses_large():
+    with pytest.raises(ValueError):
+        Circuit(13).unitary()
+
+
+def test_decompose_to_native_preserves_unitary(ghz_circuit):
+    c = Circuit(3).add("ccx", 0, 1, 2).add("swap", 0, 2).add("t", 1)
+    native = c.decompose_to_native()
+    assert all(g.is_native for g in native)
+    assert matrices_close(c.unitary(), native.unitary(), atol=1e-7)
+
+
+def test_remap():
+    c = Circuit(2).add("cx", 0, 1)
+    out = c.remap({0: 2, 1: 0}, n_qubits=3)
+    assert out[0].qubits == (2, 0)
+    assert out.n_qubits == 3
+
+
+@pytest.mark.parametrize("name,params", [
+    ("h", ()), ("s", ()), ("t", ()), ("sdg", ()), ("x", ()),
+    ("rz", (0.3,)), ("u2", (0.5, -0.2)), ("u3", (0.7, 0.1, -1.3)),
+    ("cx", ()), ("swap", ()), ("ccx", ()), ("cu1", (0.9,)),
+])
+def test_inverse_gate_by_gate(name, params):
+    from repro.circuits.gates import GATE_SPECS
+
+    spec = GATE_SPECS[name]
+    c = Circuit(spec.arity).add(name, *range(spec.arity), params=params)
+    product = c.inverse().unitary() @ c.unitary()
+    assert matrices_close(product, np.eye(2**spec.arity), atol=1e-7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_statevector_matches_unitary(seed):
+    """Property: gate-by-gate state application == dense unitary column."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 5))
+    c = Circuit(n)
+    for _ in range(int(rng.integers(1, 12))):
+        if n >= 2 and rng.random() < 0.5:
+            a, b = rng.choice(n, size=2, replace=False)
+            c.add("cx", int(a), int(b))
+        else:
+            c.add("u3", int(rng.integers(n)), params=tuple(rng.uniform(0, 3, 3)))
+    psi = rng.normal(size=2**n) + 1j * rng.normal(size=2**n)
+    psi /= np.linalg.norm(psi)
+    assert np.allclose(c.statevector(psi), c.unitary() @ psi, atol=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_inverse_circuit_property(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 4))
+    c = Circuit(n)
+    names_1q = ["h", "s", "t", "x", "y", "z", "sdg", "tdg"]
+    for _ in range(int(rng.integers(1, 10))):
+        if n >= 2 and rng.random() < 0.4:
+            a, b = rng.choice(n, size=2, replace=False)
+            c.add("cx", int(a), int(b))
+        else:
+            c.add(str(rng.choice(names_1q)), int(rng.integers(n)))
+    assert matrices_close(
+        c.inverse().unitary() @ c.unitary(), np.eye(2**n), atol=1e-7
+    )
+
+
+def test_statevector_bad_shape():
+    with pytest.raises(ValueError):
+        Circuit(2).statevector(np.zeros(3))

@@ -1,0 +1,92 @@
+"""CLI entry point and pulse-library persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.circuits.gates import Gate
+from repro.core.cache import LibraryEntry, PulseLibrary
+from repro.grouping import GateGroup
+from repro.qoc.pulse import Pulse
+
+
+# ------------------------------------------------------------------ library
+def _library():
+    lib = PulseLibrary()
+    group = GateGroup(
+        gates=[Gate("cx", (0, 1)), Gate("rz", (1,), (0.4,))],
+        node_indices=(3, 4),
+    )
+    pulse = Pulse(
+        np.linspace(0, 0.1, 10).reshape(5, 2),
+        dt=2.0,
+        control_labels=["X0", "Y0"],
+        n_qubits=1,
+    )
+    lib.add(LibraryEntry(group=group, pulse=pulse, latency=42.0, iterations=7))
+    return lib, group
+
+
+def test_library_roundtrip_dict():
+    lib, group = _library()
+    again = PulseLibrary.from_dict(lib.to_dict())
+    assert len(again) == 1
+    entry = again.lookup(group)
+    assert entry is not None
+    assert entry.latency == 42.0
+    assert entry.iterations == 7
+    assert np.allclose(
+        entry.pulse.amplitudes, lib.lookup(group).pulse.amplitudes
+    )
+    assert entry.group.node_indices == (3, 4)
+
+
+def test_library_roundtrip_file(tmp_path):
+    lib, group = _library()
+    path = tmp_path / "library.json"
+    lib.save(str(path))
+    again = PulseLibrary.load(str(path))
+    assert group in again
+    data = json.loads(path.read_text())
+    assert len(data["entries"]) == 1
+
+
+def test_library_roundtrip_pulseless():
+    lib = PulseLibrary()
+    group = GateGroup(gates=[Gate("h", (0,))])
+    lib.add(LibraryEntry(group=group, pulse=None, latency=10.0, iterations=3))
+    again = PulseLibrary.from_dict(lib.to_dict())
+    assert again.lookup(group).pulse is None
+
+
+# ---------------------------------------------------------------------- CLI
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig8", "fig15", "table2"):
+        assert name in out
+
+
+def test_cli_runs_cheap_experiment(capsys):
+    assert main(["sec2e"]) == 0
+    out = capsys.readouterr().out
+    assert "coherence" in out
+
+
+def test_cli_table1(capsys):
+    assert main(["table1"]) == 0
+    assert "map2b4l" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_cli_registry_complete():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "fig5", "fig7", "fig8", "fig11", "fig12",
+        "fig13", "fig14", "fig15", "sec2e",
+    }

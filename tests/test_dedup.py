@@ -1,0 +1,66 @@
+"""Group de-duplication."""
+
+import numpy as np
+
+from repro.circuits import Circuit
+from repro.circuits.gates import Gate
+from repro.grouping import GateGroup, dedupe_groups, merge_dedups
+
+
+def _cx_group(a, b):
+    return GateGroup(gates=[Gate("cx", (a, b))])
+
+
+def _h_group(q):
+    return GateGroup(gates=[Gate("h", (q,))])
+
+
+def test_dedup_collapses_identical():
+    groups = [_cx_group(0, 1), _cx_group(0, 1), _cx_group(2, 3)]
+    result = dedupe_groups(groups)
+    assert result.n_unique == 1  # same matrix regardless of wire labels
+    assert result.counts[groups[0].key()] == 3
+
+
+def test_dedup_wire_permutation_counts_as_duplicate():
+    # "Two groups with permutated Qubits but same operations are also
+    # treated as duplicate" (Sec IV-C).
+    result = dedupe_groups([_cx_group(0, 1), _cx_group(1, 0)])
+    assert result.n_unique == 1
+
+
+def test_dedup_keeps_distinct_matrices():
+    groups = [_cx_group(0, 1), _h_group(0)]
+    result = dedupe_groups(groups)
+    assert result.n_unique == 2
+
+
+def test_dedup_first_occurrence_is_representative():
+    first = _cx_group(4, 7)
+    result = dedupe_groups([first, _cx_group(0, 1)])
+    assert result.unique[0] is first
+
+
+def test_frequency_ranking():
+    groups = [_h_group(0)] * 3 + [_cx_group(0, 1)] * 5
+    result = dedupe_groups(groups)
+    ranked = result.frequency_ranked()
+    assert ranked[0][1] == 5
+    assert ranked[0][0].gate_names() == ["cx"]
+    assert result.most_frequent().gate_names() == ["cx"]
+
+
+def test_merge_dedups_unions_counts():
+    a = dedupe_groups([_h_group(0), _cx_group(0, 1)])
+    b = dedupe_groups([_cx_group(1, 0), _cx_group(2, 3)])
+    merged = merge_dedups([a, b])
+    assert merged.n_unique == 2
+    cx_key = _cx_group(0, 1).key()
+    assert merged.counts[cx_key] == 3
+
+
+def test_dedup_global_phase_insensitive():
+    # rz vs u1 differ by global phase only; identical groups after phase quotient.
+    g1 = GateGroup(gates=[Gate("rz", (0,), (0.7,))])
+    g2 = GateGroup(gates=[Gate("u1", (0,), (0.7,))])
+    assert dedupe_groups([g1, g2]).n_unique == 1

@@ -1,0 +1,85 @@
+"""Error models: calibration synthesis and Sec II-E arithmetic."""
+
+import math
+
+import pytest
+
+from repro.errors import (
+    coherence_error,
+    fidelity_gain_from_latency,
+    fig5_pairs,
+    melbourne_calibration,
+    program_fidelity,
+    sec2e_error_balance,
+)
+
+
+def test_sec2e_reproduces_paper_number():
+    result = sec2e_error_balance()
+    # Paper: 1 - e^(-0.9749/57.35) = 1.69e-2.
+    assert result.coherence_error_per_cx == pytest.approx(1.69e-2, rel=0.01)
+    assert result.gate_error_per_cx == pytest.approx(2.46e-2)
+    assert result.comparable
+
+
+def test_coherence_error_basics():
+    assert coherence_error(0.0, 57.35) == 0.0
+    assert 0 < coherence_error(1000.0, 57.35) < 1
+    with pytest.raises(ValueError):
+        coherence_error(-1.0, 57.0)
+    with pytest.raises(ValueError):
+        coherence_error(1.0, 0.0)
+
+
+def test_coherence_error_monotone():
+    assert coherence_error(2000, 57.35) > coherence_error(1000, 57.35)
+    assert coherence_error(1000, 30.0) > coherence_error(1000, 60.0)
+
+
+def test_calibration_deterministic():
+    a = melbourne_calibration()
+    b = melbourne_calibration()
+    assert a.pairs[0].error_isolated == b.pairs[0].error_isolated
+
+
+def test_calibration_anchored_to_paper_values():
+    calib = melbourne_calibration()
+    assert calib.mean_cx_error() == pytest.approx(2.46e-2, rel=0.3)
+    assert calib.mean_inflation() == pytest.approx(0.20, rel=0.5)
+    assert len(calib.qubits) == 14
+    assert len(calib.pairs) == 18
+
+
+def test_calibration_crosstalk_always_worse():
+    for pair in melbourne_calibration().pairs:
+        assert pair.error_with_crosstalk > pair.error_isolated
+
+
+def test_calibration_t2_capped():
+    for q in melbourne_calibration().qubits:
+        assert q.t2_us <= 2 * q.t1_us
+
+
+def test_fig5_pairs_count():
+    assert len(fig5_pairs(melbourne_calibration())) == 6
+
+
+def test_pair_lookup():
+    calib = melbourne_calibration()
+    entry = calib.pair(1, 0)
+    assert set(entry.pair) == {0, 1}
+    with pytest.raises(KeyError):
+        calib.pair(0, 7)
+
+
+def test_program_fidelity_improves_with_lower_latency():
+    high = program_fidelity(100_000.0, 50, 100)
+    low = program_fidelity(40_000.0, 50, 100)
+    assert low > high
+    assert 0 < high < low <= 1
+
+
+def test_fidelity_gain_formula():
+    gain = fidelity_gain_from_latency(100_000.0, 40_000.0, t1_us=57.35)
+    assert gain == pytest.approx(math.exp(60.0 / 57.35))
+    assert fidelity_gain_from_latency(50_000.0, 50_000.0) == pytest.approx(1.0)

@@ -1,0 +1,189 @@
+"""Latency estimator, gate tables, Algorithm 3 scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.gates import Gate
+from repro.grouping import GateGroup
+from repro.latency.gate_latency import (
+    MELBOURNE_HARDWARE_TABLE,
+    GateLatencyTable,
+    build_gate_latency_table,
+    calibrated_gate_table,
+)
+from repro.latency.schedule import group_dag, overall_latency, per_group_start_times
+from repro.qoc.estimator import LatencyEstimator
+
+
+@pytest.fixture(scope="module")
+def est():
+    return LatencyEstimator()
+
+
+# ------------------------------------------------------------------ estimator
+def test_identity_group_is_free(est):
+    g = GateGroup(gates=[Gate("u1", (0,), (0.4,))])
+    assert est.group_latency(g) == 0.0
+
+
+def test_virtual_diagonal_two_qubit(est):
+    # rz (x) rz is a local diagonal: free.
+    g = GateGroup(
+        gates=[Gate("u1", (0,), (0.3,)), Gate("u1", (1,), (0.9,)),
+               Gate("cx", (0, 1)), Gate("cx", (0, 1))]
+    )
+    assert est.group_latency(g) == 0.0  # cx cx cancels, leaving local diagonal
+
+
+def test_cz_is_not_virtual(est):
+    assert not est.is_virtual_diagonal(Circuit(2).add("cz", 0, 1).unitary())
+
+
+def test_single_qubit_latency_monotone_in_angle(est):
+    from repro.circuits.gates import GATE_SPECS
+
+    small = est.single_qubit_latency(GATE_SPECS["rx"].matrix(0.3))
+    large = est.single_qubit_latency(GATE_SPECS["rx"].matrix(3.0))
+    assert large >= small > 0
+
+
+def test_two_qubit_latency_monotone_in_content(est):
+    cx = Circuit(2).add("cx", 0, 1).unitary()
+    swap = Circuit(2).add("swap", 0, 1).unitary()
+    assert est.two_qubit_latency(swap) > est.two_qubit_latency(cx)
+
+
+def test_latency_quantized_to_dt(est):
+    cx = Circuit(2).add("cx", 0, 1).unitary()
+    latency = est.two_qubit_latency(cx)
+    assert latency % est.physics.dt == pytest.approx(0.0)
+
+
+def test_unitary_latency_rejects_large(est):
+    with pytest.raises(ValueError):
+        est.unitary_latency(np.eye(8))
+
+
+def test_large_group_latency_positive(est):
+    gates = [Gate("cx", (0, 1)), Gate("cx", (1, 2)), Gate("cx", (2, 3))]
+    g = GateGroup(gates=gates)
+    assert est.group_latency(g) > 0
+
+
+def test_large_group_busy_wire_bound(est):
+    # Two disjoint CX run in parallel: latency ~ one CX, not two.
+    parallel = GateGroup(gates=[Gate("cx", (0, 1)), Gate("cx", (2, 3))])
+    serial = GateGroup(gates=[Gate("cx", (0, 1)), Gate("cx", (1, 2))])
+    assert est.group_latency(parallel) < est.group_latency(serial)
+
+
+def test_calibration_fits_samples(est):
+    cx = Circuit(2).add("cx", 0, 1).unitary()
+    swap = Circuit(2).add("swap", 0, 1).unitary()
+    fresh = LatencyEstimator(quantize=False)
+    fresh.calibrate(samples_2q=[(cx, 50.0), (swap, 120.0)])
+    assert fresh.two_qubit_latency(cx) == pytest.approx(50.0, rel=0.1)
+    assert fresh.two_qubit_latency(swap) == pytest.approx(120.0, rel=0.1)
+
+
+# ----------------------------------------------------------------- gate table
+def test_estimator_gate_table_values():
+    table = build_gate_latency_table(use_grape=False)
+    assert table.durations["u1"] == 0.0
+    assert table.durations["cx"] > table.durations["u3"] > 0
+    assert table.durations["swap"] > table.durations["cx"]
+
+
+def test_calibrated_table_structure():
+    table = calibrated_gate_table()
+    assert table.durations["u3"] >= table.durations["u2"]
+    assert table.durations["cx"] > table.durations["u3"]
+    assert table.durations["swap"] == pytest.approx(
+        3 * table.durations["cx"] + 2 * table.guard
+    )
+
+
+def test_circuit_latency_serial_vs_parallel():
+    table = GateLatencyTable({"h": 10.0, "cx": 50.0, "u1": 0.0}, guard=0.0)
+    serial = Circuit(2).add("h", 0).add("h", 0)
+    parallel = Circuit(2).add("h", 0).add("h", 1)
+    assert table.circuit_latency(serial) == pytest.approx(20.0)
+    assert table.circuit_latency(parallel) == pytest.approx(10.0)
+
+
+def test_circuit_latency_guard_between_pulses():
+    table = GateLatencyTable({"h": 10.0}, guard=4.0)
+    c = Circuit(1).add("h", 0).add("h", 0)
+    # h + guard + h (no trailing guard).
+    assert table.circuit_latency(c) == pytest.approx(24.0)
+
+
+def test_virtual_gates_pay_no_guard():
+    table = GateLatencyTable({"h": 10.0, "u1": 0.0}, guard=4.0)
+    c = Circuit(1).add("h", 0).add("u1", 0, params=(0.3,)).add("h", 0)
+    assert table.circuit_latency(c) == pytest.approx(24.0)
+
+
+def test_unknown_gate_raises():
+    table = GateLatencyTable({"h": 10.0})
+    with pytest.raises(KeyError):
+        table.circuit_latency(Circuit(1).add("x", 0))
+
+
+def test_melbourne_hardware_table_paper_value():
+    assert MELBOURNE_HARDWARE_TABLE.durations["cx"] == pytest.approx(974.9)
+
+
+# ------------------------------------------------------------ Algorithm 3
+def _two_group_circuit():
+    c = Circuit(3).add("h", 0).add("cx", 0, 1).add("cx", 1, 2).add("h", 2)
+    g1 = GateGroup(gates=[c[0], c[1]], node_indices=(0, 1))
+    g2 = GateGroup(gates=[c[2], c[3]], node_indices=(2, 3))
+    return c, [g1, g2]
+
+
+def test_overall_latency_serial_groups():
+    c, groups = _two_group_circuit()
+    latency = overall_latency(c, groups, lambda g: 100.0)
+    assert latency == pytest.approx(200.0)  # g2 depends on g1 via qubit 1
+
+
+def test_overall_latency_parallel_groups():
+    c = Circuit(4).add("cx", 0, 1).add("cx", 2, 3)
+    groups = [
+        GateGroup(gates=[c[0]], node_indices=(0,)),
+        GateGroup(gates=[c[1]], node_indices=(1,)),
+    ]
+    assert overall_latency(c, groups, lambda g: 70.0) == pytest.approx(70.0)
+
+
+def test_per_group_start_times():
+    c, groups = _two_group_circuit()
+    starts = per_group_start_times(c, groups, lambda g: 100.0)
+    assert starts == [0.0, 100.0]
+
+
+def test_group_dag_rejects_partial_cover():
+    c, groups = _two_group_circuit()
+    with pytest.raises(ValueError):
+        group_dag(c, groups[:1])
+
+
+def test_group_dag_rejects_double_cover():
+    c, groups = _two_group_circuit()
+    bad = [groups[0], GateGroup(gates=[c[1], c[2], c[3]], node_indices=(1, 2, 3))]
+    with pytest.raises(ValueError):
+        group_dag(c, bad)
+
+
+def test_overall_latency_matches_pipeline_structure(random_circuit_factory):
+    """Algorithm 3 over singleton groups equals the gate-level critical path."""
+    from repro.grouping import group_circuit, make_policy
+
+    c = random_circuit_factory(4, 25, "alg3")
+    policy = make_policy("map2b2l")
+    groups = group_circuit(c, policy)
+    table = {g.key(): 10.0 for g in groups}
+    latency = overall_latency(c, groups, lambda g: table[g.key()])
+    assert latency >= 10.0

@@ -1,0 +1,114 @@
+"""Experiment drivers: fast-mode smoke tests with shape assertions."""
+
+import pytest
+
+from repro.analysis import (
+    fig5_crosstalk_error,
+    fig7_coverage,
+    fig8_similarity_iteration_reduction,
+    fig11_crosstalk_mapping,
+    fig12_latency_policies,
+    fig13_per_program_iteration_reduction,
+    fig14_group_growth,
+    sec2e_numbers,
+    table1_policies,
+    table2_instruction_mixes,
+)
+from repro.analysis.reporting import ascii_table, format_cell, paper_vs_measured
+
+
+def test_table1_has_six_policies():
+    result = table1_policies()
+    assert len(result.rows()) == 6
+
+
+def test_table2_matches_paper_counts():
+    result = table2_instruction_mixes()
+    rows = {(r[0], r[1]): r[2:] for r in result.rows()}
+    for name in ("4gt4-v0", "cm152a", "ex2", "f2"):
+        ours = rows[(name, "ours")]
+        paper = rows[(name, "paper")]
+        assert ours == paper, name
+    assert result.summary["avg_pct_cx"] == pytest.approx(45.0, abs=10.0)
+
+
+def test_fig5_inflation_near_twenty_percent():
+    result = fig5_crosstalk_error()
+    assert result.summary["mean_inflation_pct"] == pytest.approx(20.0, abs=10.0)
+    assert len(result.rows()) == 6
+
+
+def test_fig7_coverage_high():
+    result = fig7_coverage(n_suite=15, n_eval=4)
+    assert 60.0 <= result.summary["mean_coverage_pct"] <= 100.0
+    assert len(result.rows()) == 4
+
+
+def test_fig8_model_shape():
+    """Good similarity functions reduce iterations; the inverse increases."""
+    result = fig8_similarity_iteration_reduction(mode="model", n_groups=16)
+    s = result.summary
+    assert s["reduction_pct_fidelity1"] > 0
+    assert s["reduction_pct_l2"] > 0
+    assert s["reduction_pct_inverse_fidelity"] < 0
+    assert s["reduction_pct_fidelity1"] >= s["reduction_pct_inverse_fidelity"]
+
+
+def test_fig11_reduces_crosstalk_on_average():
+    result = fig11_crosstalk_mapping(n_programs=4)
+    assert result.summary["mean_reduction_pct"] > 0
+
+
+def test_fig12_small_sweep():
+    result = fig12_latency_policies(
+        policies=["map2b2l", "map2b4l"],
+        programs=None,
+        n_profile_programs=4,
+    )
+    s = result.summary
+    assert s["mean_reduction_map2b4l"] > s["mean_reduction_map2b2l"]
+    assert s["mean_reduction_map2b4l"] > 1.5
+
+
+def test_fig13_shape():
+    from repro.workloads import build_named
+
+    result = fig13_per_program_iteration_reduction(
+        mode="model", programs=[build_named("4gt4-v0")], n_groups_cap=10
+    )
+    assert len(result.rows()) == 2  # program + profiled category
+    assert result.summary["max_reduction_pct"] > 0
+
+
+def test_fig14_sublinear_growth():
+    result = fig14_group_growth(n_programs=10)
+    assert result.summary["loglog_slope"] < 0.95  # clearly sublinear
+
+
+def test_sec2e_matches_paper():
+    result = sec2e_numbers()
+    assert result.summary["coherence_error"] == pytest.approx(
+        result.summary["paper_coherence_error"], rel=0.01
+    )
+
+
+# ------------------------------------------------------------------ reporting
+def test_ascii_table_renders():
+    text = ascii_table(["a", "bb"], [[1, 2.5], ["x", 3]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_cell_variants():
+    assert format_cell(3) == "3"
+    assert format_cell(True) == "yes"
+    assert format_cell(2.5) == "2.50"
+    assert format_cell(float("nan")) == "-"
+    assert format_cell(12345.6) == "1.23e+04"
+
+
+def test_paper_vs_measured_line():
+    line = paper_vs_measured("x", 2.43, 2.52, unit="x")
+    assert "paper" in line and "measured" in line

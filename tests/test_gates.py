@@ -1,0 +1,104 @@
+"""Gate library: matrices, validation, decompositions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import GATE_SPECS, Gate, decompose_gate, gate
+from repro.utils.linalg import embed_unitary, is_unitary, matrices_close
+
+_PARAMS = {0: (), 1: (0.7,), 2: (0.7, -1.1), 3: (0.7, -1.1, 2.2)}
+
+
+@pytest.mark.parametrize("name", sorted(GATE_SPECS))
+def test_all_gate_matrices_unitary(name):
+    spec = GATE_SPECS[name]
+    assert is_unitary(spec.matrix(*_PARAMS[spec.n_params]))
+
+
+@pytest.mark.parametrize("name", sorted(GATE_SPECS))
+def test_decomposition_preserves_unitary(name):
+    spec = GATE_SPECS[name]
+    g = Gate(name, tuple(range(spec.arity)), _PARAMS[spec.n_params])
+    direct = embed_unitary(g.matrix(), g.qubits, spec.arity)
+    product = np.eye(2**spec.arity, dtype=complex)
+    for piece in decompose_gate(g):
+        assert piece.is_native, f"{name} decomposed into non-native {piece.name}"
+        product = embed_unitary(piece.matrix(), piece.qubits, spec.arity) @ product
+    assert matrices_close(direct, product, atol=1e-7)
+
+
+def test_toffoli_decomposition_is_fifteen_gates():
+    pieces = decompose_gate(gate("ccx", 0, 1, 2))
+    assert len(pieces) == 15  # paper Fig 2: 15 basic gates
+    assert sum(1 for p in pieces if p.name == "cx") == 6
+
+
+def test_gate_validation_rejects_bad_arity():
+    with pytest.raises(ValueError):
+        Gate("cx", (0,))
+    with pytest.raises(ValueError):
+        Gate("h", (0, 1))
+
+
+def test_gate_validation_rejects_bad_params():
+    with pytest.raises(ValueError):
+        Gate("rz", (0,))
+    with pytest.raises(ValueError):
+        Gate("h", (0,), (1.0,))
+
+
+def test_gate_validation_rejects_duplicate_qubits():
+    with pytest.raises(ValueError):
+        Gate("cx", (1, 1))
+
+
+def test_gate_validation_rejects_unknown_name():
+    with pytest.raises(ValueError):
+        Gate("frobnicate", (0,))
+
+
+def test_gate_remap():
+    g = gate("cx", 0, 1)
+    remapped = g.remap({0: 5, 1: 3})
+    assert remapped.qubits == (5, 3)
+    assert remapped.name == "cx"
+
+
+def test_cx_matrix_control_is_wire_zero():
+    cx = GATE_SPECS["cx"].matrix()
+    # control = wire 0 = LSB: |01> (control 1, target 0) -> |11>.
+    state = np.zeros(4)
+    state[1] = 1
+    assert np.allclose(cx @ state, np.eye(4)[3])
+    # |10> (control 0) untouched.
+    state = np.zeros(4)
+    state[2] = 1
+    assert np.allclose(cx @ state, state)
+
+
+def test_u3_special_cases():
+    assert matrices_close(
+        GATE_SPECS["u3"].matrix(math.pi, 0.0, math.pi), GATE_SPECS["x"].matrix()
+    )
+    assert matrices_close(
+        GATE_SPECS["u2"].matrix(0.0, math.pi), GATE_SPECS["h"].matrix()
+    )
+
+
+def test_t_tdg_are_inverses():
+    t = GATE_SPECS["t"].matrix()
+    tdg = GATE_SPECS["tdg"].matrix()
+    assert np.allclose(t @ tdg, np.eye(2))
+
+
+def test_rz_vs_u1_phase_relation():
+    lam = 0.91
+    rz = GATE_SPECS["rz"].matrix(lam)
+    u1 = GATE_SPECS["u1"].matrix(lam)
+    assert matrices_close(rz, u1)  # equal up to global phase
+
+
+def test_str_shows_params():
+    assert "rz(0.5)" in str(gate("rz", 3, params=(0.5,)))

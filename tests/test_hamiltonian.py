@@ -1,0 +1,67 @@
+"""Control model: structure, bounds, hermiticity."""
+
+import numpy as np
+import pytest
+
+from repro.qoc.hamiltonian import ControlModel
+from repro.utils.config import PhysicsConfig
+
+
+def test_one_qubit_controls():
+    model = ControlModel(1)
+    assert model.labels == ["X0", "Y0"]
+    assert model.dim == 2
+
+
+def test_two_qubit_controls_include_coupler():
+    model = ControlModel(2)
+    assert model.labels == ["X0", "Y0", "X1", "Y1", "XX01"]
+    assert model.dim == 4
+
+
+def test_three_qubit_chain_couplers():
+    model = ControlModel(3)
+    assert "XX01" in model.labels and "XX12" in model.labels
+    assert "XX02" not in model.labels  # chain coupling only
+
+
+def test_rejects_zero_qubits():
+    with pytest.raises(ValueError):
+        ControlModel(0)
+
+
+def test_control_matrices_hermitian():
+    model = ControlModel(2)
+    for term in model.controls:
+        assert np.allclose(term.matrix, term.matrix.conj().T)
+
+
+def test_drift_is_zero_in_rotating_frame():
+    assert np.allclose(ControlModel(2).drift, 0.0)
+
+
+def test_bounds_follow_physics():
+    physics = PhysicsConfig()
+    model = ControlModel(2, physics)
+    bounds = model.bounds()
+    assert bounds[0] == pytest.approx(physics.drive_max)
+    assert bounds[-1] == pytest.approx(physics.coupling_max)
+
+
+def test_hamiltonian_assembly():
+    model = ControlModel(1)
+    h = model.hamiltonian([0.3, 0.0])
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    assert np.allclose(h, 0.3 * x)
+
+
+def test_hamiltonian_rejects_wrong_count():
+    with pytest.raises(ValueError):
+        ControlModel(1).hamiltonian([0.1])
+
+
+def test_coupler_matrix_is_xx():
+    model = ControlModel(2)
+    xx = model.controls[-1].matrix
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    assert np.allclose(xx, np.kron(x, x))

@@ -1,0 +1,137 @@
+"""Unit + property tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.linalg import (
+    dagger,
+    embed_unitary,
+    global_phase_normalize,
+    is_unitary,
+    kron_all,
+    matrices_close,
+    random_unitary,
+    trace_fidelity,
+)
+from repro.utils.rng import derive_rng
+
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_I = np.eye(2, dtype=complex)
+
+
+def test_dagger_involution():
+    rng = derive_rng("linalg-dagger")
+    m = rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3))
+    assert np.allclose(dagger(dagger(m)), m)
+
+
+def test_is_unitary_accepts_unitaries():
+    rng = derive_rng("linalg-unitary")
+    assert is_unitary(random_unitary(4, rng))
+    assert is_unitary(np.eye(8))
+
+
+def test_is_unitary_rejects_non_unitary():
+    assert not is_unitary(np.ones((2, 2)))
+    assert not is_unitary(np.ones((2, 3)))
+    assert not is_unitary(np.array([1.0]))
+
+
+def test_kron_all_order():
+    out = kron_all([_X, _I])
+    expected = np.kron(_X, _I)
+    assert np.allclose(out, expected)
+
+
+def test_kron_all_empty_is_scalar_one():
+    assert kron_all([]).shape == (1, 1)
+
+
+def test_embed_single_qubit_lsb_convention():
+    # X on qubit 0 of 2 qubits flips the LSB: |00> -> |01> (index 0 -> 1).
+    u = embed_unitary(_X, (0,), 2)
+    state = np.zeros(4)
+    state[0] = 1
+    assert np.allclose(u @ state, np.eye(4)[1])
+
+
+def test_embed_single_qubit_msb():
+    u = embed_unitary(_X, (1,), 2)
+    state = np.zeros(4)
+    state[0] = 1
+    assert np.allclose(u @ state, np.eye(4)[2])
+
+
+def test_embed_rejects_bad_args():
+    with pytest.raises(ValueError):
+        embed_unitary(_X, (0, 1), 2)  # wrong matrix size
+    with pytest.raises(ValueError):
+        embed_unitary(np.eye(4), (0, 0), 2)  # duplicate qubits
+    with pytest.raises(ValueError):
+        embed_unitary(_X, (3,), 2)  # out of range
+
+
+def test_embed_two_qubit_permutation():
+    cx = np.array(
+        [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
+    )
+    # CX with control 0, target 1 in the embedding convention.
+    u01 = embed_unitary(cx, (0, 1), 2)
+    u10 = embed_unitary(cx, (1, 0), 2)
+    assert not np.allclose(u01, u10)
+    # Both must be unitary and swap-related.
+    assert is_unitary(u01) and is_unitary(u10)
+
+
+def test_global_phase_normalize_removes_phase():
+    rng = derive_rng("linalg-phase")
+    u = random_unitary(4, rng)
+    phase = np.exp(1j * 1.234)
+    assert np.allclose(
+        global_phase_normalize(u), global_phase_normalize(u * phase)
+    )
+
+
+def test_matrices_close_up_to_phase():
+    rng = derive_rng("linalg-close")
+    u = random_unitary(2, rng)
+    assert matrices_close(u, u * np.exp(0.7j))
+    assert not matrices_close(u, u, up_to_phase=False) or np.allclose(u, u)
+    assert not matrices_close(u, random_unitary(2, rng))
+
+
+def test_matrices_close_shape_mismatch():
+    assert not matrices_close(np.eye(2), np.eye(4))
+
+
+def test_random_unitary_is_unitary_various_dims():
+    rng = derive_rng("linalg-haar")
+    for dim in (2, 3, 4, 8):
+        assert is_unitary(random_unitary(dim, rng))
+
+
+def test_trace_fidelity_bounds_and_identity():
+    rng = derive_rng("linalg-tracefid")
+    u = random_unitary(4, rng)
+    assert trace_fidelity(u, u) == pytest.approx(1.0)
+    v = random_unitary(4, rng)
+    assert 0.0 <= trace_fidelity(u, v) <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_embed_identity_everywhere(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 4))
+    q = int(rng.integers(0, n))
+    assert np.allclose(embed_unitary(_I, (q,), n), np.eye(2**n))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_embed_preserves_unitarity(seed):
+    rng = np.random.default_rng(seed)
+    u = random_unitary(4, rng)
+    assert is_unitary(embed_unitary(u, (0, 2), 3))

@@ -1,0 +1,141 @@
+"""A* mapper: adjacency satisfaction, semantics preservation, crosstalk mode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.mapping.astar import AStarMapper
+from repro.mapping.swaps import decompose_swaps, fix_directions
+from repro.mapping.topology import CachedTopology, line, melbourne
+
+
+def permute_state(state, layout, n):
+    out = np.zeros_like(state)
+    for idx in range(len(state)):
+        new = 0
+        for logical in range(n):
+            if (idx >> logical) & 1:
+                new |= 1 << layout[logical]
+        out[new] = state[idx]
+    return out
+
+
+def _random_circuit(n, n_gates, seed):
+    rng = np.random.default_rng(seed)
+    c = Circuit(n)
+    for _ in range(n_gates):
+        if rng.random() < 0.5:
+            a, b = rng.choice(n, size=2, replace=False)
+            c.add("cx", int(a), int(b))
+        else:
+            c.add("u3", int(rng.integers(n)), params=tuple(rng.uniform(0, 3, 3)))
+    return c
+
+
+def test_all_cnots_adjacent_after_mapping():
+    topo = line(5)
+    cached = CachedTopology(topo)
+    c = _random_circuit(5, 40, 1)
+    result = AStarMapper(topo).map_circuit(c)
+    for g in decompose_swaps(result.circuit):
+        if g.arity == 2:
+            assert cached.are_adjacent(*g.qubits), g
+
+
+def test_direction_fix_pass_makes_executable():
+    topo = line(5)
+    cached = CachedTopology(topo)
+    c = _random_circuit(5, 30, 2)
+    result = AStarMapper(topo).map_circuit(c)
+    fixed = fix_directions(decompose_swaps(result.circuit, topo), topo)
+    for g in fixed:
+        if g.name == "cx":
+            assert cached.allowed_direction(*g.qubits), g
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_mapping_preserves_semantics(seed):
+    """Property: mapped circuit = original modulo initial/final relabeling."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 6))
+    c = _random_circuit(n, int(rng.integers(5, 25)), seed + 1)
+    topo = line(n)
+    result = AStarMapper(topo).map_circuit(c)
+    physical = decompose_swaps(result.circuit, topo)
+    psi = rng.normal(size=2**n) + 1j * rng.normal(size=2**n)
+    psi /= np.linalg.norm(psi)
+    expected = permute_state(c.statevector(psi), result.final_layout, n)
+    got = physical.statevector(permute_state(psi, result.initial_layout, n))
+    assert np.allclose(expected, got, atol=1e-8)
+
+
+def test_mapping_melbourne_semantics():
+    rng = np.random.default_rng(7)
+    c = _random_circuit(6, 25, 3)
+    topo = melbourne()
+    result = AStarMapper(topo).map_circuit(c)
+    # Simulate on the 14-qubit device space via statevector of used block.
+    physical = decompose_swaps(result.circuit, topo)
+    psi = np.zeros(2**6, dtype=complex)
+    psi[0] = 1.0
+    # Build the full-width input/output states.
+    full_in = np.zeros(2**14, dtype=complex)
+    full_in[0] = 1.0
+    got = physical.statevector(full_in)
+    # Compare amplitudes: expected state lives on the mapped wires.
+    full_expected = np.zeros(2**14, dtype=complex)
+    for idx in range(2**6):
+        amp = c.statevector(psi)[idx]
+        if abs(amp) < 1e-12:
+            continue
+        target = 0
+        for logical in range(6):
+            if (idx >> logical) & 1:
+                target |= 1 << result.final_layout[logical]
+        full_expected[target] = amp
+    assert np.allclose(got, full_expected, atol=1e-8)
+
+
+def test_no_swaps_when_circuit_fits():
+    topo = line(3)
+    c = Circuit(3).add("cx", 0, 1).add("cx", 1, 2)
+    result = AStarMapper(topo).map_circuit(c)
+    # Initial placement can satisfy a nearest-neighbour chain directly.
+    assert result.n_swaps == 0
+
+
+def test_rejects_three_qubit_gates():
+    c = Circuit(3).add("ccx", 0, 1, 2)
+    with pytest.raises(ValueError):
+        AStarMapper(line(3)).map_circuit(c)
+
+
+def test_rejects_oversized_circuit():
+    with pytest.raises(ValueError):
+        AStarMapper(line(3)).map_circuit(Circuit(4).add("h", 3))
+
+
+def test_crosstalk_aware_not_worse_on_average():
+    """Layout-candidate search picks the best metric, so aware <= plain
+    whenever the plain layout is among the candidates' outcomes; check it
+    at least never regresses on a structured workload."""
+    from repro.mapping.crosstalk import crosstalk_metric
+    from repro.workloads import build_named
+
+    native = build_named("adder_4").decompose_to_native()
+    topo = melbourne()
+    plain = AStarMapper(topo, crosstalk_aware=False).map_circuit(native)
+    aware = AStarMapper(topo, crosstalk_aware=True).map_circuit(native)
+    m_plain = crosstalk_metric(decompose_swaps(plain.circuit), topo)
+    m_aware = crosstalk_metric(decompose_swaps(aware.circuit), topo)
+    assert m_aware <= m_plain
+
+
+def test_gate_count_overhead_is_swaps_only():
+    topo = line(4)
+    c = _random_circuit(4, 20, 5)
+    result = AStarMapper(topo).map_circuit(c)
+    assert len(result.circuit) == len(c) + result.n_swaps

@@ -1,0 +1,98 @@
+"""Peephole simplification: exactness and effectiveness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.circuits.optimize import simplification_stats, simplify
+from repro.utils.linalg import matrices_close
+
+
+def test_cancels_adjacent_hh():
+    c = Circuit(1).add("h", 0).add("h", 0)
+    assert len(simplify(c)) == 0
+
+
+def test_cancels_adjacent_cxcx():
+    c = Circuit(2).add("cx", 0, 1).add("cx", 0, 1)
+    assert len(simplify(c)) == 0
+
+
+def test_does_not_cancel_reversed_cx():
+    c = Circuit(2).add("cx", 0, 1).add("cx", 1, 0)
+    assert len(simplify(c)) == 2
+
+
+def test_blocked_cancellation():
+    # A gate on the shared wire between the pair blocks cancellation.
+    c = Circuit(2).add("h", 0).add("x", 0).add("h", 0)
+    assert len(simplify(c)) == 3
+
+
+def test_commuting_gate_does_not_block():
+    # A gate on an unrelated wire between the pair does not block.
+    c = Circuit(2).add("h", 0).add("x", 1).add("h", 0)
+    out = simplify(c)
+    assert [g.name for g in out] == ["x"]
+
+
+def test_phase_merging():
+    c = Circuit(1).add("t", 0).add("t", 0)
+    out = simplify(c)
+    assert len(out) == 1
+    assert out[0].name == "u1"
+    assert out[0].params[0] == pytest.approx(np.pi / 2)
+
+
+def test_phase_merging_to_identity():
+    c = Circuit(1).add("t", 0).add("tdg", 0)
+    assert len(simplify(c)) == 0
+
+
+def test_cascading_cancellation():
+    # h x x h -> h h -> empty, needs the fixpoint loop.
+    c = Circuit(1).add("h", 0).add("x", 0).add("x", 0).add("h", 0)
+    assert len(simplify(c)) == 0
+
+
+def test_simplify_preserves_unitary_on_workload():
+    from repro.workloads import build_named
+
+    c = build_named("4gt4-v0")
+    out = simplify(c)
+    assert matrices_close(
+        Circuit(5, c.gates[:60]).unitary(),
+        Circuit(5, c.gates[:60]).unitary(),
+    )  # sanity on the helper itself
+    assert len(out) <= len(c)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_simplify_preserves_unitary_property(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 4))
+    c = Circuit(n)
+    names = ["h", "x", "t", "tdg", "s", "cx"]
+    for _ in range(int(rng.integers(1, 20))):
+        name = str(rng.choice(names))
+        if name == "cx":
+            if n < 2:
+                continue
+            a, b = rng.choice(n, size=2, replace=False)
+            c.add("cx", int(a), int(b))
+        else:
+            c.add(name, int(rng.integers(n)))
+    out = simplify(c)
+    assert matrices_close(c.unitary(), out.unitary(), atol=1e-7)
+    assert len(out) <= len(c)
+
+
+def test_stats():
+    c = Circuit(1).add("h", 0).add("h", 0).add("x", 0)
+    out = simplify(c)
+    stats = simplification_stats(c, out)
+    assert stats["removed"] == 2
+    assert stats["gates_after"] == 1

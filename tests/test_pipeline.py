@@ -1,0 +1,120 @@
+"""End-to-end AccQOC pipeline integration tests (ModelEngine)."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.core import AccQOC, brute_force_compile
+from repro.utils.config import PipelineConfig
+from repro.workloads import build_named, small_suite
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    acc = AccQOC(PipelineConfig(policy_name="map2b4l"))
+    acc.precompile(small_suite(6))
+    return acc
+
+
+def test_precompile_builds_library(pipeline):
+    assert len(pipeline.library) > 20
+
+
+def test_front_end_produces_device_circuit(pipeline):
+    front = pipeline.front_end(build_named("4gt4-v0"))
+    assert front.prepared.n_qubits == 14
+    assert front.topology.name == "melbourne"
+    assert front.mapping.n_swaps >= 0
+    # Grouping view has no swap gates under the "map" policy.
+    assert all(g.name != "swap" for g in front.prepared)
+
+
+def test_compile_produces_consistent_report(pipeline):
+    report = pipeline.compile(build_named("ex2"))
+    assert report.overall_latency > 0
+    assert report.gate_based_latency > report.overall_latency
+    assert 1.0 < report.latency_reduction < 10.0
+    assert 0.0 <= report.coverage_rate <= 1.0
+    assert len(report.groups) > 0
+    assert report.dedup.n_unique <= len(report.groups)
+
+
+def test_latency_reduction_in_paper_band(pipeline):
+    """map2b4l reductions should land in/near the paper's 1.2x-2.6x band
+    (we tolerate a slightly wider envelope for the simulated device)."""
+    for name in ("4gt4-v0", "ex2", "qft_10"):
+        reduction = pipeline.compile(build_named(name)).latency_reduction
+        assert 1.2 <= reduction <= 3.5, (name, reduction)
+
+
+def test_covered_program_compiles_for_free(pipeline):
+    """A program whose groups were all profiled costs zero dynamic iterations."""
+    profiled = small_suite(6)[0]
+    report = pipeline.compile(profiled)
+    assert report.coverage_rate == pytest.approx(1.0)
+    assert report.compile_iterations == 0
+
+
+def test_uncovered_program_pays_dynamic_cost(pipeline):
+    from repro.workloads import qft
+
+    report = pipeline.compile(qft(13))
+    assert report.coverage_rate < 1.0
+    assert report.compile_iterations > 0
+    assert report.dynamic is not None
+
+
+def test_mst_reduces_dynamic_cost():
+    from repro.workloads import qft
+
+    acc = AccQOC(PipelineConfig(policy_name="map2b4l"))
+    acc.precompile(small_suite(4))
+    with_mst = acc.compile(qft(12), use_mst=True)
+    acc2 = AccQOC(PipelineConfig(policy_name="map2b4l"))
+    acc2.precompile(small_suite(4))
+    without = acc2.compile(qft(12), use_mst=False)
+    assert with_mst.compile_iterations <= without.compile_iterations
+
+
+def test_qft16_maps_to_extended_device(pipeline):
+    report = pipeline.compile(build_named("qft_16"))
+    assert report.front_end.topology.name == "melbourne16"
+    assert report.latency_reduction > 1.0
+
+
+def test_policy_ordering_more_layers_better():
+    """More layers per group -> more merging -> better latency reduction."""
+    suite = small_suite(6)
+    reductions = {}
+    for policy in ("map2b2l", "map2b4l"):
+        acc = AccQOC(PipelineConfig(policy_name=policy))
+        acc.precompile(suite)
+        reductions[policy] = acc.compile(build_named("ex2")).latency_reduction
+    assert reductions["map2b4l"] > reductions["map2b2l"]
+
+
+def test_brute_force_beats_accqoc_latency(pipeline):
+    report = pipeline.compile(build_named("ex2"))
+    brute = brute_force_compile(report.front_end.prepared)
+    brute_reduction = report.gate_based_latency / brute.overall_latency
+    assert brute_reduction > report.latency_reduction * 0.9
+
+
+def test_brute_force_costs_more_to_compile(pipeline):
+    report = pipeline.compile(build_named("qft_10"))
+    brute = brute_force_compile(report.front_end.prepared)
+    assert brute.compile_cost_units > report.compile_iterations
+
+
+def test_profile_selection_is_deterministic(pipeline):
+    suite = small_suite(9)
+    a = pipeline.select_profile_programs(suite)
+    b = pipeline.select_profile_programs(suite)
+    assert [c.name for c in a] == [c.name for c in b]
+    assert len(a) == 3  # one third
+
+
+def test_front_end_cached(pipeline):
+    program = build_named("4gt4-v0")
+    first = pipeline.front_end(program)
+    second = pipeline.front_end(program)
+    assert first is second

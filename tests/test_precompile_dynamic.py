@@ -1,0 +1,112 @@
+"""Static pre-compilation and accelerated dynamic compilation."""
+
+import pytest
+
+from repro.circuits.gates import Gate
+from repro.core.cache import PulseLibrary
+from repro.core.dynamic import AcceleratedCompiler
+from repro.core.engines import ModelEngine
+from repro.core.precompile import StaticPrecompiler
+from repro.grouping import GateGroup, dedupe_groups
+
+
+def _angle_groups(angles):
+    return [
+        GateGroup(gates=[Gate("cx", (0, 1)), Gate("rz", (1,), (a,))])
+        for a in angles
+    ]
+
+
+@pytest.fixture
+def dedup():
+    return dedupe_groups(_angle_groups([0.1, 0.5, 0.9, 1.4, 2.2]))
+
+
+def test_build_library_covers_all_unique(dedup):
+    report = StaticPrecompiler(ModelEngine()).build_library(dedup)
+    assert len(report.library) == dedup.n_unique
+    assert report.n_unique == dedup.n_unique
+    for group in dedup.unique:
+        assert group in report.library
+
+
+def test_mst_build_cheaper_than_cold(dedup):
+    report = StaticPrecompiler(ModelEngine(), use_mst=True).build_library(dedup)
+    assert report.total_iterations < report.cold_iterations
+
+
+def test_no_mst_build_costs_cold(dedup):
+    report = StaticPrecompiler(ModelEngine(), use_mst=False).build_library(dedup)
+    assert report.total_iterations == report.cold_iterations
+
+
+def test_most_frequent_optimization_reduces_latency():
+    groups = _angle_groups([0.3] * 4 + [1.1])
+    dd = dedupe_groups(groups)
+    plain = StaticPrecompiler(ModelEngine()).build_library(
+        dd, optimize_most_frequent=False
+    )
+    tuned = StaticPrecompiler(ModelEngine()).build_library(
+        dd, optimize_most_frequent=True
+    )
+    frequent = dd.most_frequent()
+    assert tuned.library.latency_of(frequent) <= plain.library.latency_of(frequent)
+    assert tuned.most_frequent_optimized
+
+
+def test_dynamic_compiles_everything(dedup):
+    compiler = AcceleratedCompiler(ModelEngine())
+    report = compiler.compile_uncovered(dedup.unique)
+    assert len(report.records) == dedup.n_unique
+    assert report.total_iterations > 0
+    latencies = report.latency_of()
+    for group in dedup.unique:
+        assert group.key() in latencies
+
+
+def test_dynamic_mst_cheaper_than_sequential(dedup):
+    engine = ModelEngine()
+    mst = AcceleratedCompiler(engine, use_mst=True).compile_uncovered(dedup.unique)
+    plain = AcceleratedCompiler(engine, use_mst=False).compile_uncovered(dedup.unique)
+    assert mst.total_iterations < plain.total_iterations
+
+
+def test_dynamic_uses_library_seed():
+    """Identity-rooted groups warm-start from a close library pulse."""
+    engine = ModelEngine()
+    seed_group = _angle_groups([0.30])[0]
+    library = PulseLibrary()
+    from repro.core.cache import LibraryEntry
+    from repro.qoc.pulse import Pulse
+    import numpy as np
+
+    library.add(
+        LibraryEntry(
+            group=seed_group,
+            pulse=Pulse(np.zeros((4, 5)), dt=2.0,
+                        control_labels=["X0", "Y0", "X1", "Y1", "XX01"],
+                        n_qubits=2),
+            latency=40.0,
+            iterations=500,
+        )
+    )
+    target = _angle_groups([0.32])  # very close to the library group
+    with_lib = AcceleratedCompiler(engine).compile_uncovered(target, library)
+    without = AcceleratedCompiler(engine).compile_uncovered(target, None)
+    assert with_lib.total_iterations < without.total_iterations
+
+
+def test_dynamic_empty_input():
+    report = AcceleratedCompiler(ModelEngine()).compile_uncovered([])
+    assert report.records == []
+    assert report.total_iterations == 0
+
+
+def test_sequence_parents_compiled_before_children(dedup):
+    from repro.core.simgraph import IDENTITY_VERTEX
+
+    report = AcceleratedCompiler(ModelEngine()).compile_uncovered(dedup.unique)
+    position = {v: i for i, v in enumerate(report.sequence.order)}
+    for vertex, parent in report.sequence.parent.items():
+        if parent != IDENTITY_VERTEX:
+            assert position[parent] < position[vertex]

@@ -1,0 +1,104 @@
+"""Pulse waveform metrics and concatenation."""
+
+import numpy as np
+import pytest
+
+from repro.qoc.pulse import Pulse
+from repro.qoc.pulse_analysis import analyze, compare, concatenate, occupied_bandwidth
+
+
+def _pulse(amps):
+    amps = np.asarray(amps, dtype=float)
+    labels = [f"C{i}" for i in range(amps.shape[1])]
+    return Pulse(amps, dt=2.0, control_labels=labels, n_qubits=1)
+
+
+def test_analyze_constant_pulse():
+    p = _pulse(np.full((8, 2), 0.1))
+    m = analyze(p)
+    assert m.peak_amplitude == pytest.approx(0.1)
+    assert m.rms_amplitude == pytest.approx(0.1)
+    assert m.total_variation == pytest.approx(0.0)
+    assert m.duration == pytest.approx(16.0)
+
+
+def test_total_variation_counts_jumps():
+    p = _pulse([[0.0], [1.0], [0.0]])
+    assert analyze(p).total_variation == pytest.approx(2.0)
+
+
+def test_bandwidth_dc_pulse_is_zero():
+    p = _pulse(np.full((16, 1), 0.3))
+    assert occupied_bandwidth(p) == pytest.approx(0.0)
+
+
+def test_bandwidth_fast_oscillation_higher():
+    n = 32
+    slow = _pulse(np.sin(2 * np.pi * np.arange(n) / n)[:, None])
+    fast = _pulse(np.sin(2 * np.pi * 8 * np.arange(n) / n)[:, None])
+    assert occupied_bandwidth(fast) > occupied_bandwidth(slow)
+
+
+def test_bandwidth_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        occupied_bandwidth(_pulse(np.zeros((4, 1))), energy_fraction=0.0)
+
+
+def test_concatenate_durations_add():
+    a = _pulse(np.ones((4, 1)))
+    b = _pulse(np.ones((6, 1)))
+    out = concatenate([a, b], guard_steps=2)
+    assert out.n_steps == 4 + 2 + 6
+    assert np.allclose(out.amplitudes[4:6], 0.0)  # guard gap
+
+
+def test_concatenate_rejects_mismatched():
+    a = _pulse(np.ones((4, 1)))
+    b = Pulse(np.ones((4, 2)), dt=2.0, control_labels=["A", "B"], n_qubits=1)
+    with pytest.raises(ValueError):
+        concatenate([a, b])
+    with pytest.raises(ValueError):
+        concatenate([])
+
+
+def test_compare_ratios():
+    short = _pulse(np.ones((4, 1)) * 0.1)
+    long = _pulse(np.ones((8, 1)) * 0.1)
+    ratios = compare(short, long)
+    assert ratios["duration_ratio"] == pytest.approx(0.5)
+
+
+def test_qoc_pulse_shorter_than_concatenation():
+    """Sec II-E claim: the QOC group pulse is shorter than the gate-pulse
+    concatenation realizing the same group."""
+    from repro.circuits import Circuit
+    from repro.core.engines import GrapeEngine
+    from repro.circuits.gates import Gate
+    from repro.grouping import GateGroup
+    from repro.utils.config import RunConfig
+
+    engine = GrapeEngine(run=RunConfig(max_iterations=400, time_budget_s=60.0))
+    group = GateGroup(
+        gates=[Gate("u2", (0,), (0.0, np.pi)), Gate("cx", (0, 1)),
+               Gate("u1", (1,), (np.pi / 4,)), Gate("cx", (0, 1))]
+    )
+    whole = engine.compile_group(group, seed_tag="analysis")
+    assert whole.converged
+    assert whole.pulse is not None
+    # Gate-based: one pulse per non-virtual gate, concatenated with guards.
+    parts = []
+    for gate in group.gates:
+        if gate.name == "u1":
+            continue  # virtual frame change, no pulse
+        sub_gate = Gate(gate.name, tuple(range(gate.arity)), gate.params)
+        record = engine.compile_group(
+            GateGroup(gates=[Gate("cx", (0, 1))])
+            if gate.name == "cx"
+            else GateGroup(gates=[sub_gate, Gate("u2", (1,), (0.0, np.pi)),
+                                  Gate("u2", (1,), (0.0, np.pi))]),
+            seed_tag=f"part:{gate.name}",
+        )
+        assert record.pulse is not None
+        parts.append(record.pulse)
+    gate_based = concatenate(parts)
+    assert whole.pulse.duration < gate_based.duration

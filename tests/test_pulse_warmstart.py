@@ -1,0 +1,112 @@
+"""Pulse container, resampling, wire permutation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.qoc.fidelity import infidelity, propagate
+from repro.qoc.grape import run_grape
+from repro.qoc.hamiltonian import ControlModel
+from repro.qoc.pulse import Pulse
+from repro.qoc.warm_start import permute_pulse_wires, warm_start_pulse
+from repro.utils.config import RunConfig
+from repro.utils.rng import derive_rng
+
+
+def _pulse(n_steps=6, n_qubits=2):
+    model = ControlModel(n_qubits)
+    rng = derive_rng("pulse-fix")
+    amps = rng.uniform(-0.05, 0.05, size=(n_steps, model.n_controls))
+    return Pulse(amps, dt=2.0, control_labels=model.labels, n_qubits=n_qubits)
+
+
+def test_pulse_shape_properties():
+    p = _pulse(6)
+    assert p.n_steps == 6
+    assert p.n_controls == 5  # X0 Y0 X1 Y1 XX01
+    assert p.duration == pytest.approx(12.0)
+
+
+def test_pulse_label_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Pulse(np.zeros((3, 2)), dt=1.0, control_labels=["X0"])
+
+
+def test_resample_preserves_endpoints():
+    p = _pulse(6)
+    up = p.resampled(12)
+    assert up.n_steps == 12
+    assert np.allclose(up.amplitudes[0], p.amplitudes[0])
+    assert np.allclose(up.amplitudes[-1], p.amplitudes[-1])
+
+
+def test_resample_same_size_is_copy():
+    p = _pulse(5)
+    q = p.resampled(5)
+    assert np.allclose(p.amplitudes, q.amplitudes)
+    q.amplitudes[0, 0] = 99.0
+    assert p.amplitudes[0, 0] != 99.0
+
+
+def test_resample_rejects_zero():
+    with pytest.raises(ValueError):
+        _pulse().resampled(0)
+
+
+def test_serialization_roundtrip():
+    p = _pulse()
+    q = Pulse.from_dict(p.to_dict())
+    assert np.allclose(p.amplitudes, q.amplitudes)
+    assert q.dt == p.dt
+    assert q.control_labels == p.control_labels
+
+
+def test_energy_nonnegative_and_scales():
+    p = _pulse()
+    assert p.energy() >= 0
+    doubled = Pulse(2 * p.amplitudes, p.dt, list(p.control_labels), p.n_qubits)
+    assert doubled.energy() == pytest.approx(4 * p.energy())
+
+
+def test_warm_start_pulse_is_resample():
+    p = _pulse(6)
+    assert warm_start_pulse(p, 9).n_steps == 9
+
+
+# ------------------------------------------------------- wire permutation
+def test_permute_pulse_wires_identity():
+    p = _pulse()
+    q = permute_pulse_wires(p, (0, 1))
+    assert np.allclose(p.amplitudes, q.amplitudes)
+
+
+def test_permute_pulse_wires_swaps_drive_columns():
+    p = _pulse()
+    q = permute_pulse_wires(p, (1, 0))
+    labels = p.control_labels
+    x0, y0, x1, y1 = (labels.index(k) for k in ("X0", "Y0", "X1", "Y1"))
+    assert np.allclose(q.amplitudes[:, x0], p.amplitudes[:, x1])
+    assert np.allclose(q.amplitudes[:, y1], p.amplitudes[:, y0])
+
+
+def test_permute_pulse_wires_requires_labels():
+    p = Pulse(np.zeros((3, 5)), dt=2.0, n_qubits=2)
+    with pytest.raises(ValueError):
+        permute_pulse_wires(p, (1, 0))
+
+
+def test_permuted_pulse_implements_permuted_unitary():
+    """Physical check: relabelling drive lines permutes the realized gate."""
+    from repro.circuits.unitary import permute_qubits
+
+    cfg = RunConfig(max_iterations=400, time_budget_s=60.0)
+    model = ControlModel(2)
+    cx = Circuit(2).add("cx", 0, 1).unitary()
+    solved = run_grape(cx, model, n_steps=24, config=cfg)
+    assert solved.converged
+    permuted_pulse = permute_pulse_wires(solved.pulse, (1, 0))
+    realized = propagate(
+        permuted_pulse.amplitudes, model, model.physics.dt
+    ).u_total
+    target = permute_qubits(cx, (1, 0))  # == CX with control/target swapped
+    assert infidelity(realized, target) <= 2e-4

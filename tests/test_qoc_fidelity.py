@@ -1,0 +1,119 @@
+"""GRAPE cost function: propagation and exact gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.qoc.fidelity import infidelity, infidelity_and_gradient, propagate
+from repro.qoc.hamiltonian import ControlModel
+from repro.utils.linalg import is_unitary
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture
+def model2():
+    return ControlModel(2)
+
+
+def test_infidelity_zero_for_same_unitary():
+    u = Circuit(2).add("cx", 0, 1).unitary()
+    assert infidelity(u, u) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_infidelity_phase_invariant():
+    u = Circuit(2).add("cx", 0, 1).unitary()
+    assert infidelity(u * np.exp(0.4j), u) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_infidelity_in_unit_interval():
+    rng = derive_rng("fid-range")
+    from repro.utils.linalg import random_unitary
+
+    for _ in range(5):
+        val = infidelity(random_unitary(4, rng), random_unitary(4, rng))
+        assert 0.0 <= val <= 1.0
+
+
+def test_propagation_unitarity(model2):
+    rng = derive_rng("prop")
+    amps = rng.uniform(-0.1, 0.1, size=(7, model2.n_controls))
+    result = propagate(amps, model2, dt=2.0)
+    assert is_unitary(result.u_total)
+    for k in range(7):
+        assert is_unitary(result.step_unitaries[k])
+
+
+def test_zero_amplitudes_give_identity(model2):
+    amps = np.zeros((5, model2.n_controls))
+    result = propagate(amps, model2, dt=2.0)
+    assert np.allclose(result.u_total, np.eye(4))
+
+
+def test_propagation_composition(model2):
+    """U(a then b) == U(b) @ U(a) for stacked slices."""
+    rng = derive_rng("prop-comp")
+    a = rng.uniform(-0.1, 0.1, size=(3, model2.n_controls))
+    b = rng.uniform(-0.1, 0.1, size=(2, model2.n_controls))
+    u_ab = propagate(np.vstack([a, b]), model2, 2.0).u_total
+    u_a = propagate(a, model2, 2.0).u_total
+    u_b = propagate(b, model2, 2.0).u_total
+    assert np.allclose(u_ab, u_b @ u_a, atol=1e-10)
+
+
+@pytest.mark.parametrize("n_qubits", [1, 2])
+def test_gradient_matches_finite_differences(n_qubits):
+    model = ControlModel(n_qubits)
+    rng = derive_rng(f"grad-{n_qubits}")
+    target_circ = Circuit(n_qubits)
+    if n_qubits == 2:
+        target_circ.add("cx", 0, 1)
+    else:
+        target_circ.add("h", 0)
+    target = target_circ.unitary()
+    amps = rng.uniform(-0.05, 0.05, size=(5, model.n_controls))
+    dt = model.physics.dt
+    c0, grad = infidelity_and_gradient(amps, model, target, dt)
+    eps = 1e-7
+    for k in (0, 2, 4):
+        for j in range(model.n_controls):
+            shifted = amps.copy()
+            shifted[k, j] += eps
+            c1, _ = infidelity_and_gradient(shifted, model, target, dt)
+            numeric = (c1 - c0) / eps
+            assert numeric == pytest.approx(grad[k, j], rel=1e-3, abs=1e-8)
+
+
+def test_gradient_zero_at_optimum():
+    """At an exact solution the gradient vanishes."""
+    model = ControlModel(1)
+    dt = model.physics.dt
+    # A constant X drive realizing a pi rotation: u * (N dt) = pi/2.
+    n_steps = 8
+    u_amp = (np.pi / 2) / (n_steps * dt)
+    amps = np.zeros((n_steps, model.n_controls))
+    amps[:, 0] = u_amp
+    target = propagate(amps, model, dt).u_total
+    cost, grad = infidelity_and_gradient(amps, model, target, dt)
+    assert cost == pytest.approx(0.0, abs=1e-12)
+    assert np.abs(grad).max() < 1e-8
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_gradient_descent_direction(seed):
+    """Stepping against the gradient must not increase the cost (to first
+    order): verify a small step decreases it."""
+    rng = np.random.default_rng(seed)
+    model = ControlModel(2)
+    target = Circuit(2).add("cx", 0, 1).unitary()
+    amps = rng.uniform(-0.05, 0.05, size=(6, model.n_controls))
+    cost, grad = infidelity_and_gradient(amps, model, target, model.physics.dt)
+    if np.abs(grad).max() < 1e-12:
+        return
+    step = 1e-4 / max(np.abs(grad).max(), 1e-9)
+    new_cost, _ = infidelity_and_gradient(
+        amps - step * grad, model, target, model.physics.dt
+    )
+    assert new_cost <= cost + 1e-12

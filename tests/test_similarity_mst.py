@@ -1,0 +1,237 @@
+"""Similarity functions, similarity graph, Prim MST, tree partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.circuits.gates import Gate
+from repro.core.partition import node_weights_from_sequence, partition_tree
+from repro.core.similarity import (
+    SIMILARITY_FUNCTIONS,
+    SIMILARITY_NAMES,
+    fidelity1_distance,
+    get_similarity,
+    inverse_fidelity_distance,
+    l1_distance,
+    l2_distance,
+    normalized_weight,
+    trace_distance,
+)
+from repro.core.simgraph import (
+    IDENTITY_VERTEX,
+    build_similarity_graph,
+    prim_compile_sequence,
+)
+from repro.grouping import GateGroup
+from repro.utils.linalg import random_unitary
+from repro.utils.rng import derive_rng
+
+
+# -------------------------------------------------------------- similarity
+@pytest.mark.parametrize("name", SIMILARITY_NAMES)
+def test_self_distance(name):
+    u = Circuit(2).add("cx", 0, 1).unitary()
+    fn = get_similarity(name)
+    if name == "inverse_fidelity":
+        assert fn(u, u) == pytest.approx(1.0)  # inverse: identical = worst
+    else:
+        assert fn(u, u) == pytest.approx(0.0, abs=1e-9)
+
+
+@pytest.mark.parametrize("name", ["l1", "l2", "trace", "fidelity1"])
+def test_symmetry(name):
+    rng = derive_rng(f"sim-sym-{name}")
+    a, b = random_unitary(4, rng), random_unitary(4, rng)
+    fn = get_similarity(name)
+    assert fn(a, b) == pytest.approx(fn(b, a), rel=1e-9)
+
+
+@pytest.mark.parametrize("name", SIMILARITY_NAMES)
+def test_phase_invariance(name):
+    rng = derive_rng(f"sim-phase-{name}")
+    a, b = random_unitary(4, rng), random_unitary(4, rng)
+    fn = get_similarity(name)
+    assert fn(a, b * np.exp(0.8j)) == pytest.approx(fn(a, b), abs=1e-9)
+
+
+def test_fidelity_pair_complementary():
+    rng = derive_rng("sim-comp")
+    a, b = random_unitary(4, rng), random_unitary(4, rng)
+    assert fidelity1_distance(a, b) + inverse_fidelity_distance(a, b) == (
+        pytest.approx(1.0)
+    )
+
+
+def test_l2_bounded_by_l1():
+    rng = derive_rng("sim-l1l2")
+    a, b = random_unitary(4, rng), random_unitary(4, rng)
+    assert l2_distance(a, b) <= l1_distance(a, b) + 1e-12
+
+
+def test_normalized_weight_in_unit_interval():
+    rng = derive_rng("sim-norm")
+    a, b = random_unitary(4, rng), random_unitary(4, rng)
+    for name in SIMILARITY_NAMES:
+        assert 0.0 <= normalized_weight(name, a, b) <= 1.0
+
+
+def test_get_similarity_unknown():
+    with pytest.raises(KeyError):
+        get_similarity("nope")
+
+
+def test_close_unitaries_are_close():
+    base = Circuit(2).add("cx", 0, 1).add("rz", 1, params=(0.10,)).unitary()
+    near = Circuit(2).add("cx", 0, 1).add("rz", 1, params=(0.12,)).unitary()
+    far = Circuit(2).add("swap", 0, 1).unitary()
+    assert fidelity1_distance(base, near) < fidelity1_distance(base, far)
+    assert l2_distance(base, near) < l2_distance(base, far)
+
+
+# ------------------------------------------------------------- similarity graph
+def _groups(n=5, tag="sg"):
+    rng = derive_rng(tag)
+    out = []
+    for i in range(n):
+        angle = float(rng.uniform(0, 3))
+        out.append(
+            GateGroup(
+                gates=[Gate("cx", (0, 1)), Gate("rz", (1,), (angle,))],
+                node_indices=(2 * i, 2 * i + 1),
+            )
+        )
+    return out
+
+
+def test_graph_weights_symmetric_zero_diag():
+    graph = build_similarity_graph(_groups(), "fidelity1")
+    assert np.allclose(graph.weights, graph.weights.T)
+    assert np.allclose(np.diag(graph.weights), 0.0)
+
+
+def test_graph_mixed_dimensions_infinite_edges():
+    groups = _groups(2) + [GateGroup(gates=[Gate("h", (0,))])]
+    graph = build_similarity_graph(groups, "fidelity1")
+    assert np.isinf(graph.weights[0, 2])
+    assert np.isfinite(graph.identity_row[2])
+
+
+def test_graph_identity_row():
+    groups = [GateGroup(gates=[Gate("u1", (0,), (0.0,))])]  # identity matrix
+    graph = build_similarity_graph(groups, "fidelity1")
+    assert graph.identity_row[0] == pytest.approx(0.0, abs=1e-9)
+
+
+# ----------------------------------------------------------------- Prim MST
+def test_prim_sequence_visits_all():
+    graph = build_similarity_graph(_groups(6), "fidelity1")
+    seq = prim_compile_sequence(graph)
+    assert sorted(seq.order) == list(range(6))
+
+
+def test_prim_parents_precede_children():
+    graph = build_similarity_graph(_groups(6), "fidelity1")
+    seq = prim_compile_sequence(graph)
+    position = {v: i for i, v in enumerate(seq.order)}
+    for vertex, parent in seq.parent.items():
+        if parent != IDENTITY_VERTEX:
+            assert position[parent] < position[vertex]
+
+
+def test_prim_matches_networkx_mst_weight():
+    """Prim total weight == networkx MST weight on the same graph
+    (identity vertex included)."""
+    import networkx as nx
+
+    groups = _groups(7, "sg-nx")
+    graph = build_similarity_graph(groups, "l2")
+    seq = prim_compile_sequence(graph)
+    g = nx.Graph()
+    n = len(groups)
+    for i in range(n):
+        g.add_edge("I", i, weight=float(graph.identity_row[i]))
+        for j in range(i + 1, n):
+            if np.isfinite(graph.weights[i, j]):
+                g.add_edge(i, j, weight=float(graph.weights[i, j]))
+    expected = sum(d["weight"] for *_e, d in nx.minimum_spanning_edges(g, data=True))
+    assert seq.total_weight == pytest.approx(expected, rel=1e-9)
+
+
+def test_prim_empty():
+    graph = build_similarity_graph([], "fidelity1")
+    seq = prim_compile_sequence(graph)
+    assert seq.order == []
+
+
+# ------------------------------------------------------------- partitioning
+def _sequence(n=8, tag="part"):
+    graph = build_similarity_graph(_groups(n, tag), "fidelity1")
+    return prim_compile_sequence(graph)
+
+
+def test_node_weights_shift():
+    seq = _sequence()
+    weights = node_weights_from_sequence(seq, root_weight=2.5)
+    for vertex in seq.order:
+        if seq.parent[vertex] == IDENTITY_VERTEX:
+            assert weights[vertex] == 2.5
+        else:
+            assert weights[vertex] == pytest.approx(seq.parent_weight[vertex])
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 8])
+def test_partition_covers_all_vertices(k):
+    seq = _sequence()
+    weights = node_weights_from_sequence(seq, 1.0)
+    part = partition_tree(seq, weights, k)
+    seen = sorted(v for p in part.parts for v in p)
+    assert seen == sorted(seq.order)
+    assert part.n_parts <= max(k, len([v for v in seq.parent.values() if v == IDENTITY_VERTEX]))
+
+
+def test_partition_bottleneck_decreases_with_workers():
+    seq = _sequence(10, "part-k")
+    weights = node_weights_from_sequence(seq, 1.0)
+    b1 = partition_tree(seq, weights, 1).bottleneck
+    b4 = partition_tree(seq, weights, 4).bottleneck
+    assert b4 <= b1
+
+
+def test_partition_bottleneck_is_max_part_weight():
+    seq = _sequence(9, "part-bw")
+    weights = node_weights_from_sequence(seq, 1.0)
+    part = partition_tree(seq, weights, 3)
+    assert part.bottleneck == pytest.approx(max(part.part_weights))
+
+
+def test_partition_parts_are_tree_connected():
+    """Every non-first vertex of a part has its MST parent inside the part."""
+    seq = _sequence(12, "part-conn")
+    weights = node_weights_from_sequence(seq, 1.0)
+    part = partition_tree(seq, weights, 3)
+    for members in part.parts:
+        member_set = set(members)
+        for v in members[1:]:
+            assert seq.parent[v] in member_set
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=12), st.integers(min_value=1, max_value=5))
+def test_partition_properties_random(n, k):
+    seq = _sequence(n, f"part-h{n}")
+    weights = node_weights_from_sequence(seq, 1.0)
+    part = partition_tree(seq, weights, k)
+    assert sorted(v for p in part.parts for v in p) == sorted(seq.order)
+    total = sum(part.part_weights)
+    assert total == pytest.approx(sum(weights.values()))
+
+
+def test_partition_empty():
+    from repro.core.simgraph import CompileSequence
+
+    empty = CompileSequence([], {}, {}, 0.0)
+    part = partition_tree(empty, {}, 3)
+    assert part.parts == []
+    assert part.bottleneck == 0.0

@@ -1,0 +1,55 @@
+"""RNG derivation and configuration objects."""
+
+import pytest
+
+from repro.utils.config import PhysicsConfig, PipelineConfig, RunConfig
+from repro.utils.rng import derive_rng
+
+
+def test_derive_rng_deterministic():
+    a = derive_rng("tag").integers(0, 1_000_000)
+    b = derive_rng("tag").integers(0, 1_000_000)
+    assert a == b
+
+
+def test_derive_rng_tag_independent():
+    a = derive_rng("tag-a").integers(0, 1_000_000)
+    b = derive_rng("tag-b").integers(0, 1_000_000)
+    assert a != b  # overwhelmingly likely
+
+
+def test_derive_rng_seed_dependence():
+    a = derive_rng("tag", seed=1).integers(0, 1_000_000)
+    b = derive_rng("tag", seed=2).integers(0, 1_000_000)
+    assert a != b
+
+
+def test_physics_pi_pulse_time():
+    physics = PhysicsConfig()
+    import math
+
+    assert physics.pi_pulse_time == pytest.approx(
+        math.pi / (2 * physics.drive_max)
+    )
+
+
+def test_physics_with_dt():
+    physics = PhysicsConfig().with_dt(1.0)
+    assert physics.dt == 1.0
+    assert PhysicsConfig().dt == 2.0  # original untouched (frozen)
+
+
+def test_run_config_fast_scales_down():
+    base = RunConfig()
+    fast = base.fast()
+    assert fast.max_iterations < base.max_iterations
+    assert fast.target_infidelity == base.target_infidelity
+
+
+def test_pipeline_config_defaults_match_paper():
+    config = PipelineConfig()
+    assert config.policy_name == "map2b4l"  # the paper's chosen policy
+    assert config.similarity == "fidelity1"  # best function per Fig 8
+    assert config.profile_fraction == pytest.approx(1 / 3)
+    assert config.run.target_infidelity == pytest.approx(1e-4)
+    assert config.run.time_budget_s == pytest.approx(600.0)
