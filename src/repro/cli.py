@@ -6,6 +6,8 @@ Usage::
     python -m repro fig15                   # run one experiment
     python -m repro fig8 --mode grape       # real-optimizer variants
     python -m repro all                     # the full evaluation section
+    python -m repro perf                    # hot-path timings + breakdown
+    python -m repro perf --json             # same, machine-readable
 """
 
 from __future__ import annotations
@@ -62,7 +64,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), or 'all', or 'list'",
+        help="experiment id (see 'list'), or 'all', 'list', 'perf'",
     )
     parser.add_argument(
         "--mode",
@@ -70,11 +72,22 @@ def main(argv=None) -> int:
         default="model",
         help="engine for iteration-count experiments (fig8/fig13)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (perf only)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
+        print("perf")
+        return 0
+    if args.experiment == "perf":
+        from repro.perf.hotpaths import run_perf
+
+        print(run_perf(as_json=args.json))
         return 0
     if args.experiment == "all":
         for name in EXPERIMENTS:

@@ -25,6 +25,7 @@ from repro.core.simgraph import (
     prim_compile_sequence,
 )
 from repro.grouping.group import GateGroup
+from repro.perf.instrument import PerfRecorder, recorder_or_null
 from repro.qoc.pulse import Pulse
 
 
@@ -54,6 +55,7 @@ class AcceleratedCompiler:
         similarity: str = "fidelity1",
         use_mst: bool = True,
         library_seed_threshold: float = 0.5,
+        perf: Optional[PerfRecorder] = None,
     ):
         self.engine = engine
         self.similarity = similarity
@@ -61,6 +63,7 @@ class AcceleratedCompiler:
         # A library pulse seeds an identity-rooted group when its distance is
         # below this threshold (otherwise cold start, as in the paper).
         self.library_seed_threshold = library_seed_threshold
+        self.perf = recorder_or_null(perf)
 
     def compile_uncovered(
         self,
@@ -70,8 +73,10 @@ class AcceleratedCompiler:
         start = time.monotonic()
         groups = list(uncovered)
         if self.use_mst:
-            graph = build_similarity_graph(groups, self.similarity)
-            sequence = prim_compile_sequence(graph)
+            with self.perf.stage("dynamic.simgraph"):
+                graph = build_similarity_graph(groups, self.similarity)
+            with self.perf.stage("dynamic.prim"):
+                sequence = prim_compile_sequence(graph)
         else:
             sequence = CompileSequence(
                 order=list(range(len(groups))),
@@ -91,10 +96,18 @@ class AcceleratedCompiler:
                 warm_pulse = parent_record.pulse
                 warm_source = groups[parent]
             elif library is not None:
-                warm_pulse, warm_source = self._best_library_seed(group, library)
-            record = self._compile(group, warm_pulse, warm_source, f"dyn:{index}")
+                with self.perf.stage("dynamic.library_seed"):
+                    warm_pulse, warm_source = self._best_library_seed(
+                        group, library
+                    )
+            with self.perf.stage("dynamic.solve"):
+                record = self._compile(
+                    group, warm_pulse, warm_source, f"dyn:{index}"
+                )
             records[index] = record
             total_iterations += record.iterations
+            self.perf.count("dynamic.iterations", record.iterations)
+        self.perf.count("dynamic.groups", len(groups))
         final_records = [r for r in records if r is not None]
         return DynamicCompileReport(
             records=final_records,

@@ -25,6 +25,8 @@ from repro.latency.schedule import overall_latency
 from repro.mapping.astar import AStarMapper, MappingResult
 from repro.mapping.crosstalk import crosstalk_metric
 from repro.mapping.topology import Topology, topology_for
+from repro.perf.instrument import PerfRecorder
+from repro.perf.report import PerfReport
 from repro.utils.config import PipelineConfig
 from repro.utils.rng import derive_rng
 
@@ -60,6 +62,7 @@ class CompiledProgram:
     gate_based_latency: float
     compile_iterations: int
     wall_time: float
+    perf: Optional[PerfReport] = None  # stage-by-stage timing breakdown
 
     @property
     def latency_reduction(self) -> float:
@@ -155,9 +158,15 @@ class AccQOC:
     # ---------------------------------------------------------------- compile
     def compile(self, circuit: Circuit, use_mst: bool = True) -> CompiledProgram:
         start = time.monotonic()
-        front, groups = self.groups_of(circuit)
-        dedup = dedupe_groups(groups)
-        coverage = self.library.coverage(groups)
+        perf = PerfRecorder()
+        with perf.stage("front_end"):
+            front, groups = self.groups_of(circuit)
+        with perf.stage("dedup"):
+            dedup = dedupe_groups(groups)
+        with perf.stage("coverage"):
+            coverage = self.library.coverage(groups)
+        perf.count("groups", len(groups))
+        perf.count("uncovered_unique", len(coverage.uncovered_unique))
 
         dynamic_report: Optional[DynamicCompileReport] = None
         latencies: Dict[bytes, float] = {}
@@ -166,20 +175,25 @@ class AccQOC:
             latencies[entry.group.key()] = entry.latency
         if coverage.uncovered_unique:
             compiler = AcceleratedCompiler(
-                self.engine, similarity=self.config.similarity, use_mst=use_mst
+                self.engine,
+                similarity=self.config.similarity,
+                use_mst=use_mst,
+                perf=perf,
             )
-            dynamic_report = compiler.compile_uncovered(
-                coverage.uncovered_unique, self.library
-            )
+            with perf.stage("dynamic"):
+                dynamic_report = compiler.compile_uncovered(
+                    coverage.uncovered_unique, self.library
+                )
             latencies.update(dynamic_report.latency_of())
             compile_iterations = dynamic_report.total_iterations
 
         def latency_of(group: GateGroup) -> float:
             return latencies[group.key()]
 
-        total_latency = overall_latency(front.prepared, groups, latency_of)
-        gate_table = self.engine.gate_table()
-        gate_latency = gate_table.circuit_latency(front.gate_based)
+        with perf.stage("latency"):
+            total_latency = overall_latency(front.prepared, groups, latency_of)
+            gate_table = self.engine.gate_table()
+            gate_latency = gate_table.circuit_latency(front.gate_based)
         return CompiledProgram(
             name=circuit.name or "<unnamed>",
             front_end=front,
@@ -191,4 +205,5 @@ class AccQOC:
             gate_based_latency=gate_latency,
             compile_iterations=compile_iterations,
             wall_time=time.monotonic() - start,
+            perf=perf.report(circuit.name or "<unnamed>"),
         )

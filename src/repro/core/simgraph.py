@@ -10,13 +10,12 @@ warm-started from its MST parent, which by construction is already compiled.
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.similarity import get_similarity
+from repro.core.similarity import batched_distance_matrix, get_similarity
 from repro.grouping.group import GateGroup
 
 IDENTITY_VERTEX = -1  # sentinel index of the identity matrix vertex
@@ -55,6 +54,49 @@ def build_similarity_graph(
     Different-dimension matrices cannot seed each other's pulses (different
     control line sets), so their edges are infinite and Prim will connect
     each dimension class through the identity instead.
+    """
+    get_similarity(similarity)  # validate the name up front
+    groups = list(groups)
+    n = len(groups)
+    weights = np.full((n, n), np.inf)
+    np.fill_diagonal(weights, 0.0)
+    mats = [g.matrix() for g in groups]
+    identity_row = np.empty(n)
+
+    # One batched (Gram-matrix) computation per dimension class instead of
+    # n(n-1)/2 per-pair Python calls; cross-dimension edges stay infinite.
+    by_dim: Dict[int, List[int]] = {}
+    for i, m in enumerate(mats):
+        by_dim.setdefault(m.shape[0], []).append(i)
+    for dim, indices in by_dim.items():
+        stack = np.stack([mats[i] for i in indices])
+        block = batched_distance_matrix(similarity, stack)
+        # Match the per-pair builder exactly: zero diagonal (even for
+        # inverse_fidelity, whose self-distance is 1) and perfect symmetry
+        # (the upper triangle is authoritative, as in the i < j loop).
+        upper = np.triu_indices(len(indices), k=1)
+        block[(upper[1], upper[0])] = block[upper]
+        np.fill_diagonal(block, 0.0)
+        idx = np.asarray(indices)
+        weights[np.ix_(idx, idx)] = block
+        eye = np.eye(dim, dtype=complex)[None, :, :]
+        identity_row[idx] = batched_distance_matrix(similarity, eye, stack)[0]
+    return SimilarityGraph(
+        groups=groups,
+        weights=weights,
+        identity_row=identity_row,
+        similarity_name=similarity,
+    )
+
+
+def build_similarity_graph_pairwise(
+    groups: Sequence[GateGroup], similarity: str = "fidelity1"
+) -> SimilarityGraph:
+    """Reference builder: per-pair Python calls (the pre-vectorization path).
+
+    Kept as the equivalence oracle for the batched ``build_similarity_graph``
+    — property tests assert the two agree to 1e-9 — and as the baseline in
+    ``benchmarks/bench_simgraph.py``.
     """
     fn = get_similarity(similarity)
     groups = list(groups)
@@ -101,15 +143,14 @@ def prim_compile_sequence(graph: SimilarityGraph) -> CompileSequence:
     n = graph.n_groups
     if n == 0:
         return CompileSequence([], {}, {}, 0.0)
-    in_tree = [False] * n
+    in_tree = np.zeros(n, dtype=bool)
     best_weight = graph.identity_row.astype(float).copy()
-    best_parent = [IDENTITY_VERTEX] * n
     order: List[int] = []
     parent: Dict[int, int] = {}
     parent_weight: Dict[int, float] = {}
     total = 0.0
     heap: List[Tuple[float, int, int]] = [
-        (best_weight[i], i, IDENTITY_VERTEX) for i in range(n)
+        (float(best_weight[i]), i, IDENTITY_VERTEX) for i in range(n)
     ]
     heapq.heapify(heap)
     while heap and len(order) < n:
@@ -121,12 +162,13 @@ def prim_compile_sequence(graph: SimilarityGraph) -> CompileSequence:
         parent[vertex] = via
         parent_weight[vertex] = float(weight)
         total += float(weight)
+        # Relaxation scan over non-tree vertices as one masked comparison;
+        # only the strictly-improved vertices reach the heap.
         row = graph.weights[vertex]
-        for other in range(n):
-            if not in_tree[other] and row[other] < best_weight[other]:
-                best_weight[other] = row[other]
-                best_parent[other] = vertex
-                heapq.heappush(heap, (row[other], other, vertex))
+        improved = np.flatnonzero(~in_tree & (row < best_weight))
+        best_weight[improved] = row[improved]
+        for other in improved:
+            heapq.heappush(heap, (float(row[other]), int(other), vertex))
     return CompileSequence(
         order=order, parent=parent, parent_weight=parent_weight, total_weight=total
     )

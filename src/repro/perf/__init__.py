@@ -1,0 +1,17 @@
+"""Performance instrumentation: timers, counters, serializable reports.
+
+The compilation pipeline threads a :class:`PerfRecorder` through its
+stages, and every :class:`~repro.core.pipeline.CompiledProgram` carries the
+resulting :class:`PerfReport`. ``repro perf`` (see
+:mod:`repro.perf.hotpaths`) times the hot paths directly.
+"""
+
+from repro.perf.instrument import PerfRecorder, recorder_or_null
+from repro.perf.report import PerfReport, StageStat
+
+__all__ = [
+    "PerfRecorder",
+    "PerfReport",
+    "StageStat",
+    "recorder_or_null",
+]

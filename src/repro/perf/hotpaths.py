@@ -1,0 +1,128 @@
+"""Hot-path micro-timings behind the ``repro perf`` CLI entry point.
+
+Times the two compilation hot paths this reproduction optimizes — the
+fused GRAPE cost/gradient evaluation and the Gram-matrix similarity-graph
+build (against the per-pair reference) — plus one end-to-end pipeline
+compile with its stage breakdown. Numbers are wall-clock on the current
+machine; the committed baselines live in PERF.md.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from repro.circuits import Circuit
+from repro.circuits.gates import Gate
+from repro.grouping.group import GateGroup
+from repro.perf.instrument import PerfRecorder
+from repro.perf.report import PerfReport
+from repro.qoc.fidelity import infidelity_and_gradient
+from repro.qoc.hamiltonian import ControlModel
+from repro.utils.rng import derive_rng
+
+
+def random_cx_rz_groups(n: int, tag: str = "perf-groups") -> List[GateGroup]:
+    """The canonical similarity-bench workload: n four-dim cx+rz groups.
+
+    Shared with ``benchmarks/bench_simgraph.py`` so the PERF.md acceptance
+    point ("64 four-dim groups") always measures one and the same workload.
+    Matrices are pre-warmed so timings cover graph construction only.
+    """
+    rng = derive_rng(tag)
+    groups = []
+    for i in range(n):
+        angle = float(rng.uniform(0, 3))
+        group = GateGroup(
+            gates=[Gate("cx", (0, 1)), Gate("rz", (1,), (angle,))],
+            node_indices=(2 * i, 2 * i + 1),
+        )
+        group.matrix()
+        groups.append(group)
+    return groups
+
+
+def _time(fn, repeats: int) -> float:
+    fn()  # warm-up
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+def gradient_report(
+    n_qubits: int = 2, n_slices: int = 24, repeats: int = 20
+) -> PerfReport:
+    """Time one fused cost+gradient evaluation."""
+    model = ControlModel(n_qubits)
+    rng = derive_rng("perf-grad")
+    amps = rng.uniform(-0.05, 0.05, size=(n_slices, model.n_controls))
+    target = Circuit(2).add("cx", 0, 1).unitary() if n_qubits == 2 else (
+        Circuit(n_qubits).add("h", 0).unitary()
+    )
+    dt = model.physics.dt
+    recorder = PerfRecorder()
+    seconds = _time(
+        lambda: infidelity_and_gradient(amps, model, target, dt), repeats
+    )
+    recorder.record("qoc.gradient", seconds)
+    recorder.count("qoc.gradient.slices", n_slices)
+    return recorder.report(f"infidelity_and_gradient {n_qubits}q/{n_slices} slices")
+
+
+def simgraph_report(
+    n_groups: int = 64, similarity: str = "fidelity1", repeats: int = 5
+) -> PerfReport:
+    """Time the batched similarity-graph build against the per-pair oracle."""
+    from repro.core.simgraph import (
+        build_similarity_graph,
+        build_similarity_graph_pairwise,
+    )
+
+    groups = random_cx_rz_groups(n_groups)
+    recorder = PerfRecorder()
+    recorder.record(
+        "simgraph.batched",
+        _time(lambda: build_similarity_graph(groups, similarity), repeats),
+    )
+    recorder.record(
+        "simgraph.pairwise",
+        _time(
+            lambda: build_similarity_graph_pairwise(groups, similarity),
+            max(1, repeats // 2),
+        ),
+    )
+    recorder.count("simgraph.groups", n_groups)
+    return recorder.report(f"build_similarity_graph {n_groups} groups ({similarity})")
+
+
+def pipeline_report() -> PerfReport:
+    """Stage breakdown of one real compile (small QFT program)."""
+    from repro.core.pipeline import AccQOC
+    from repro.workloads import qft
+
+    pipeline = AccQOC()
+    compiled = pipeline.compile(qft(4))
+    report = compiled.perf or PerfReport(label="pipeline (no perf recorded)")
+    return report
+
+
+def run_perf(as_json: bool = False) -> str:
+    """The ``repro perf`` entry point: all hot-path reports, rendered."""
+    reports = [gradient_report(), simgraph_report(), pipeline_report()]
+    if as_json:
+        import json
+
+        return json.dumps([r.to_dict() for r in reports], indent=2)
+    blocks = []
+    for report in reports:
+        blocks.append(report.format_table())
+        batched = pairwise = None
+        for stat in report.stages:
+            if stat.name == "simgraph.batched":
+                batched = stat.total_s
+            if stat.name == "simgraph.pairwise":
+                pairwise = stat.total_s
+        if batched and pairwise:
+            blocks.append(f"  speedup (pairwise/batched) = {pairwise / batched:.1f}x")
+    return "\n\n".join(blocks)

@@ -1,0 +1,72 @@
+"""Lightweight wall-clock timers and counters for the compilation pipeline.
+
+A ``PerfRecorder`` is a cheap, dependency-free accumulator: stages are
+named context managers around the pipeline's hot sections, counters track
+discrete work units (optimizer iterations, groups compiled). Recorders are
+snapshot into immutable :class:`~repro.perf.report.PerfReport` objects that
+``CompiledProgram`` carries, so every compilation exposes where its wall
+time went.
+
+Stage names are dotted paths (``dynamic.simgraph``); nesting is by
+convention, not enforced, which keeps the per-call overhead to two clock
+reads and a dict update.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict
+
+from repro.perf.report import PerfReport, StageStat
+
+
+class PerfRecorder:
+    """Accumulates named stage timings and counters."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self.stages: Dict[str, StageStat] = {}
+        self.counters: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a block of work under ``name`` (additive across calls)."""
+        start = self._clock()
+        try:
+            yield self
+        finally:
+            self.record(name, self._clock() - start)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add one timed call to a stage."""
+        stat = self.stages.get(name)
+        if stat is None:
+            stat = self.stages[name] = StageStat(name=name)
+        stat.calls += 1
+        stat.total_s += float(seconds)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a named counter."""
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    def report(self, label: str = "") -> PerfReport:
+        """Immutable snapshot of everything recorded so far."""
+        return PerfReport(
+            label=label,
+            stages=[
+                StageStat(name=s.name, calls=s.calls, total_s=s.total_s)
+                for s in self.stages.values()
+            ],
+            counters=dict(self.counters),
+        )
+
+
+def recorder_or_null(perf: "PerfRecorder | None") -> PerfRecorder:
+    """Hand back ``perf`` or a fresh throwaway recorder.
+
+    Lets instrumented code call ``perf.stage(...)`` unconditionally; when no
+    recorder was supplied the caller gets its own private recorder, so
+    un-instrumented instances never share (or leak) accumulated state.
+    """
+    return perf if perf is not None else PerfRecorder()

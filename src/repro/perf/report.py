@@ -1,0 +1,94 @@
+"""Serializable performance reports: stage timings + counters.
+
+``PerfReport`` is the immutable snapshot a :class:`PerfRecorder` produces.
+It round-trips through plain dicts/JSON (for regression dashboards and the
+``repro perf`` CLI) and renders as an aligned text table for humans.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class StageStat:
+    """Accumulated wall time of one named pipeline stage."""
+
+    name: str
+    calls: int = 0
+    total_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "calls": self.calls, "total_s": self.total_s}
+
+
+@dataclass
+class PerfReport:
+    """Immutable timing breakdown of one compilation (or bench run)."""
+
+    label: str = ""
+    stages: List[StageStat] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def stage(self, name: str) -> StageStat:
+        for stat in self.stages:
+            if stat.name == name:
+                return stat
+        raise KeyError(f"no stage {name!r} in report {self.label!r}")
+
+    def total_seconds(self) -> float:
+        """Sum over top-level stages (names without a dot)."""
+        return sum(s.total_s for s in self.stages if "." not in s.name)
+
+    def to_dict(self) -> Dict:
+        return {
+            "label": self.label,
+            "stages": [s.to_dict() for s in self.stages],
+            "counters": dict(self.counters),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PerfReport":
+        return cls(
+            label=data.get("label", ""),
+            stages=[
+                StageStat(
+                    name=s["name"],
+                    calls=int(s["calls"]),
+                    total_s=float(s["total_s"]),
+                )
+                for s in data.get("stages", [])
+            ],
+            counters={k: int(v) for k, v in data.get("counters", {}).items()},
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PerfReport":
+        return cls.from_dict(json.loads(text))
+
+    def format_table(self) -> str:
+        """Aligned text table: stage, calls, total ms, mean ms; then counters."""
+        header = f"perf report: {self.label}" if self.label else "perf report"
+        lines = [header]
+        if self.stages:
+            name_w = max(len("stage"), max(len(s.name) for s in self.stages))
+            lines.append(
+                f"  {'stage':<{name_w}}  {'calls':>6}  {'total ms':>10}  {'mean ms':>10}"
+            )
+            for stat in sorted(self.stages, key=lambda s: -s.total_s):
+                lines.append(
+                    f"  {stat.name:<{name_w}}  {stat.calls:>6}  "
+                    f"{stat.total_s * 1e3:>10.3f}  {stat.mean_s * 1e3:>10.3f}"
+                )
+        for name in sorted(self.counters):
+            lines.append(f"  {name} = {self.counters[name]}")
+        return "\n".join(lines)

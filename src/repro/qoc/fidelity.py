@@ -16,6 +16,19 @@ derivative of the matrix exponential follows the Daleckii-Krein formula
 
 This keeps the optimizer's line searches consistent at any dt, which matters
 because the binary search pushes pulses to the shortest (most curved) regime.
+
+Performance notes (this module is the pipeline's hottest path — the
+optimizer calls the objective hundreds of times per solve):
+
+* The forward cumulative products are computed by a *blocked* matmul scan:
+  within-block prefixes are batched gemms over all blocks at once, so the
+  Python-level loop runs ~2*sqrt(N) iterations instead of N.
+* Backward products are never scanned: step unitaries are exactly unitary,
+  so ``B_k = U_total P_k^dag`` — one batched gemm.
+* The per-control rotated stack ``c_tilde`` (N, M, d, d) is never
+  materialized. The Daleckii-Krein weights are contracted with W̃_k first,
+  rotated back once per slice, and the control contraction collapses to a
+  single (N, d^2) x (d^2, M) gemm.
 """
 
 from __future__ import annotations
@@ -43,24 +56,83 @@ class PropagationResult:
     step_unitaries: np.ndarray  # (N, d, d)
     eigvals: np.ndarray  # (N, d) real
     eigvecs: np.ndarray  # (N, d, d)
+    forward: np.ndarray  # (N + 1, d, d) cumulative products, forward[0] = I
+
+
+def _cumulative_products(steps: np.ndarray) -> np.ndarray:
+    """Prefix products ``out[k] = steps[k-1] @ ... @ steps[0]`` (out[0] = I).
+
+    Blocked scan: steps are split into ~sqrt(N) blocks; within-block
+    prefixes advance with one batched gemm per in-block position (over all
+    blocks simultaneously), then a short sequential pass chains the block
+    offsets and one batched gemm combines them.
+    """
+    n, d, _ = steps.shape
+    out = np.empty((n + 1, d, d), dtype=complex)
+    out[0] = np.eye(d)
+    if n == 0:
+        return out
+    block = max(1, int(round(np.sqrt(n))))
+    n_blocks = -(-n // block)
+    padded = np.empty((n_blocks * block, d, d), dtype=complex)
+    padded[:n] = steps
+    padded[n:] = np.eye(d)
+    padded = padded.reshape(n_blocks, block, d, d)
+    prefixes = np.empty_like(padded)
+    prefixes[:, 0] = padded[:, 0]
+    for b in range(1, block):
+        np.matmul(padded[:, b], prefixes[:, b - 1], out=prefixes[:, b])
+    offsets = np.empty((n_blocks, d, d), dtype=complex)
+    offsets[0] = np.eye(d)
+    for g in range(1, n_blocks):
+        offsets[g] = prefixes[g - 1, -1] @ offsets[g - 1]
+    full = np.matmul(prefixes, offsets[:, None, :, :])
+    out[1:] = full.reshape(n_blocks * block, d, d)[:n]
+    return out
 
 
 def propagate(amps: np.ndarray, model: ControlModel, dt: float) -> PropagationResult:
-    """Forward pass: per-slice eigendecompositions and the total unitary."""
-    n_steps = amps.shape[0]
-    d = model.dim
-    controls = model.control_matrices()
-    # H_k = drift + sum_j amps[k, j] C_j  for all k at once.
-    hams = np.tensordot(amps, controls, axes=(1, 0)) + model.drift
+    """Forward pass: per-slice eigendecompositions and cumulative products."""
+    # H_k = drift + sum_j amps[k, j] C_j for all k as ONE tensordot against
+    # the cached (1 + M, d, d) drift+controls stack (drift coefficient 1).
+    stacked = model.drift_and_controls()
+    coeffs = np.empty((amps.shape[0], stacked.shape[0]))
+    coeffs[:, 0] = 1.0
+    coeffs[:, 1:] = amps
+    hams = np.tensordot(coeffs, stacked, axes=(1, 0))
     eigvals, eigvecs = np.linalg.eigh(hams)
     phases = np.exp(-1j * dt * eigvals)  # (N, d)
-    step_unitaries = np.einsum(
-        "kab,kb,kcb->kac", eigvecs, phases, eigvecs.conj()
+    # U_k = Q_k diag(phases_k) Q_k^dag as one batched gemm.
+    step_unitaries = np.matmul(
+        eigvecs * phases[:, None, :], eigvecs.conj().transpose(0, 2, 1)
     )
-    u_total = np.eye(d, dtype=complex)
-    for k in range(n_steps):
-        u_total = step_unitaries[k] @ u_total
-    return PropagationResult(u_total, step_unitaries, eigvals, eigvecs)
+    forward = _cumulative_products(step_unitaries)
+    return PropagationResult(
+        u_total=forward[-1],
+        step_unitaries=step_unitaries,
+        eigvals=eigvals,
+        eigvecs=eigvecs,
+        forward=forward,
+    )
+
+
+def _daleckii_krein_quotients(eigvals: np.ndarray, dt: float) -> np.ndarray:
+    """L_ab = (f(w_a) - f(w_b)) / (w_a - w_b) with f(x) = e^{-i dt x}.
+
+    Degenerate pairs (including the diagonal) take the limit f'(w_a); the
+    1e-12 gap threshold keeps the quotient stable for near-degenerate
+    Hamiltonians, where the finite difference would lose all precision.
+    """
+    w = eigvals  # (N, d)
+    d = w.shape[1]
+    f = np.exp(-1j * dt * w)
+    dw = w[:, :, None] - w[:, None, :]
+    df = f[:, :, None] - f[:, None, :]
+    degenerate = np.abs(dw) <= 1e-12
+    with np.errstate(divide="ignore", invalid="ignore"):
+        quotient = np.where(degenerate, 0, df / np.where(degenerate, 1, dw))
+    diag_term = np.broadcast_to((-1j * dt * f)[:, :, None], quotient.shape)
+    return np.where(degenerate, diag_term, quotient)
 
 
 def infidelity_and_gradient(
@@ -72,45 +144,41 @@ def infidelity_and_gradient(
     B_k = U_N ... U_{k+1}; with W_k = P_{k-1} V^dag B_k,
 
         dC/du_{kj} = -(2/d^2) Re( conj(g) * Tr(W_k dU_k[C_j]) ),  g = Tr(V^dag U).
+
+    Fused pass: propagation and gradient share one set of forward
+    cumulative products; B_k comes from unitarity (B_k = U_total P_k^dag),
+    and the control contraction is one flat gemm (see module docstring).
     """
     n_steps, n_controls = amps.shape
     d = model.dim
     prop = propagate(amps, model, dt)
-    overlap = np.trace(target.conj().T @ prop.u_total)
+    v_dag = target.conj().T
+    overlap = np.trace(v_dag @ prop.u_total)
     cost = float(1.0 - (abs(overlap) ** 2) / d**2)
 
-    # Forward cumulative products P_k (P_0 = I) and backward B_k (B_N = I).
-    forward = np.empty((n_steps + 1, d, d), dtype=complex)
-    forward[0] = np.eye(d)
-    for k in range(n_steps):
-        forward[k + 1] = prop.step_unitaries[k] @ forward[k]
-    backward = np.empty((n_steps + 1, d, d), dtype=complex)
-    backward[n_steps] = np.eye(d)
-    for k in range(n_steps - 1, -1, -1):
-        backward[k] = backward[k + 1] @ prop.step_unitaries[k]
+    forward = prop.forward  # (N + 1, d, d)
+    # W_k = P_{k-1} V^dag B_k = P_{k-1} (V^dag U_total) P_k^dag.
+    transfer = v_dag @ prop.u_total
+    w_k = np.matmul(
+        np.matmul(forward[:-1], transfer), forward[1:].conj().transpose(0, 2, 1)
+    )
 
-    controls = model.control_matrices()
-    v_dag = target.conj().T
-    coeff = -2.0 / d**2
-
-    # Daleckii-Krein quotient matrices for all slices at once.
-    w = prop.eigvals  # (N, d)
-    f = np.exp(-1j * dt * w)
-    dw = w[:, :, None] - w[:, None, :]
-    df = f[:, :, None] - f[:, None, :]
-    degenerate = np.abs(dw) <= 1e-12
-    with np.errstate(divide="ignore", invalid="ignore"):
-        quotient = np.where(degenerate, 0, df / np.where(degenerate, 1, dw))
-    diag_term = (-1j * dt * f)[:, :, None] * np.ones((1, 1, d))
-    quotient = np.where(degenerate, diag_term, quotient)
-
-    # W_k = P_{k-1} V^dag B_k rotated into each slice eigenbasis.
+    # Rotate into each slice eigenbasis and weight by the Daleckii-Krein
+    # quotients: M_k[b, a] = L_k[b, a] * W̃_k[a, b], W̃_k = Q_k^dag W_k Q_k.
     q = prop.eigvecs  # (N, d, d)
-    w_k = np.einsum("kab,bc,kcd->kad", forward[:-1], v_dag, backward[1:])
-    w_tilde = np.einsum("kba,kbc,kcd->kad", q.conj(), w_k, q)
-    # All controls rotated into each slice eigenbasis: (N, M, d, d).
-    c_tilde = np.einsum("kba,jbc,kcd->kjad", q.conj(), controls, q)
-    d_tilde = quotient[:, None, :, :] * c_tilde
-    traces = np.einsum("kab,kjba->kj", w_tilde, d_tilde)
+    q_dag = q.conj().transpose(0, 2, 1)
+    w_tilde = np.matmul(np.matmul(q_dag, w_k), q)
+    quotient = _daleckii_krein_quotients(prop.eigvals, dt)
+    m = quotient * w_tilde.transpose(0, 2, 1)
+    # Rotate back once per slice: R_k = Q_k^* M_k Q_k^T, so that
+    # Tr(W_k dU_k[C_j]) = sum_{ce} C_j[c, e] R_k[c, e].
+    r = np.matmul(np.matmul(q.conj(), m), q.transpose(0, 2, 1))
+
+    # All controls contracted in one gemm: (N, d^2) x (d^2, M) — the
+    # (N, M, d, d) rotated-control stack is never materialized.
+    controls_flat = model.control_matrices().reshape(n_controls, d * d)
+    traces = r.reshape(n_steps, d * d) @ controls_flat.T
+
+    coeff = -2.0 / d**2
     grad = coeff * np.real(np.conj(overlap) * traces)
     return cost, grad

@@ -53,7 +53,8 @@ class ControlModel:
         self.n_qubits = n_qubits
         self.physics = physics
         self.dim = 2**n_qubits
-        self.drift = np.zeros((self.dim, self.dim), dtype=complex)
+        self._drift = np.zeros((self.dim, self.dim), dtype=complex)
+        self._drift.setflags(write=False)
         self.controls: List[ControlTerm] = []
         for q in range(n_qubits):
             self.controls.append(
@@ -75,6 +76,31 @@ class ControlModel:
             self.controls.append(
                 ControlTerm(f"XX{q}{q + 1}", xx, physics.coupling_max)
             )
+        # The optimizer objective touches these on every evaluation; stack
+        # once here so the inner loop never re-allocates. Everything the
+        # stacks were built from is frozen (writeable=False) alongside them:
+        # a later in-place edit of a ControlTerm.matrix would otherwise be
+        # silently ignored by the cached copies.
+        for term in self.controls:
+            term.matrix.setflags(write=False)
+        self._control_stack = np.stack([c.matrix for c in self.controls])
+        self._control_stack.setflags(write=False)
+        self._drift_and_controls = np.concatenate(
+            [self._drift[None, :, :], self._control_stack], axis=0
+        )
+        self._drift_and_controls.setflags(write=False)
+        self._bounds = np.array([c.bound for c in self.controls])
+        self._bounds.setflags(write=False)
+
+    @property
+    def drift(self) -> np.ndarray:
+        """Drift Hamiltonian (read-only).
+
+        Exposed as a property with no setter: the drift is baked into the
+        cached drift+controls stack at construction, so a mutable attribute
+        would let ``hamiltonian()`` and ``propagate()`` silently disagree.
+        """
+        return self._drift
 
     @property
     def n_controls(self) -> int:
@@ -85,12 +111,20 @@ class ControlModel:
         return [c.label for c in self.controls]
 
     def bounds(self) -> np.ndarray:
-        """Per-control amplitude bound, shape (n_controls,)."""
-        return np.array([c.bound for c in self.controls])
+        """Per-control amplitude bound, shape (n_controls,). Read-only view."""
+        return self._bounds
 
     def control_matrices(self) -> np.ndarray:
-        """Stacked control Hamiltonians, shape (n_controls, dim, dim)."""
-        return np.stack([c.matrix for c in self.controls])
+        """Stacked control Hamiltonians, shape (n_controls, dim, dim).
+
+        Cached and read-only: the GRAPE objective calls this on every
+        cost/gradient evaluation, so it must not re-stack or re-allocate.
+        """
+        return self._control_stack
+
+    def drift_and_controls(self) -> np.ndarray:
+        """Drift followed by controls as one (1 + n_controls, dim, dim) stack."""
+        return self._drift_and_controls
 
     def hamiltonian(self, amplitudes: Sequence[float]) -> np.ndarray:
         """Total Hamiltonian for one time slice."""
@@ -99,7 +133,4 @@ class ControlModel:
             raise ValueError(
                 f"expected {self.n_controls} amplitudes, got {amplitudes.shape}"
             )
-        h = self.drift.copy()
-        for amp, term in zip(amplitudes, self.controls):
-            h += amp * term.matrix
-        return h
+        return self.drift + np.tensordot(amplitudes, self._control_stack, axes=(0, 0))

@@ -46,9 +46,14 @@ def embed_unitary(gate_matrix: np.ndarray, qubits, n_qubits: int) -> np.ndarray:
     ``qubits`` orders the gate's own wires: ``qubits[0]`` is the gate's qubit 0
     (least significant bit of the *gate* matrix index). Works for arbitrary,
     possibly non-adjacent and permuted wire assignments.
+
+    Implemented as a tensor-index permutation: the gate (x) identity operator
+    is viewed as a rank-2n tensor of qubit axes and transposed into the
+    global wire order — no Python loop over basis states.
     """
     qubits = list(qubits)
     k = len(qubits)
+    gate_matrix = np.asarray(gate_matrix)
     if gate_matrix.shape != (2**k, 2**k):
         raise ValueError(
             f"gate on {k} qubits needs a {2 ** k}x{2 ** k} matrix, "
@@ -60,29 +65,32 @@ def embed_unitary(gate_matrix: np.ndarray, qubits, n_qubits: int) -> np.ndarray:
         raise ValueError(f"qubits {qubits} out of range for n={n_qubits}")
 
     dim = 2**n_qubits
-    out = np.zeros((dim, dim), dtype=complex)
     rest = [q for q in range(n_qubits) if q not in qubits]
-    # Iterate over the gate's subspace and the untouched subspace separately.
-    for rest_bits in range(2 ** len(rest)):
-        base = 0
-        for pos, q in enumerate(rest):
-            if (rest_bits >> pos) & 1:
-                base |= 1 << q
-        for col_local in range(2**k):
-            col = base
-            for pos, q in enumerate(qubits):
-                if (col_local >> pos) & 1:
-                    col |= 1 << q
-            for row_local in range(2**k):
-                amp = gate_matrix[row_local, col_local]
-                if amp == 0:
-                    continue
-                row = base
-                for pos, q in enumerate(qubits):
-                    if (row_local >> pos) & 1:
-                        row |= 1 << q
-                out[row, col] = amp
-    return out
+    n_rest = len(rest)
+    # Reshaping a (2^m, 2^m) operator to (2,)*2m orders each index group
+    # most-significant bit first: axis i of the row group is the operator's
+    # qubit m-1-i, and likewise for the column group.
+    gate_tensor = gate_matrix.astype(complex).reshape((2,) * (2 * k))
+    if n_rest:
+        rest_tensor = np.eye(2**n_rest, dtype=complex).reshape(
+            (2,) * (2 * n_rest)
+        )
+        full = np.multiply.outer(gate_tensor, rest_tensor)
+    else:
+        full = gate_tensor
+    # Source axis of each global qubit in `full`'s axis list
+    # (gate rows, gate cols, rest rows, rest cols).
+    row_axis = {}
+    col_axis = {}
+    for pos, q in enumerate(qubits):
+        row_axis[q] = k - 1 - pos
+        col_axis[q] = k + (k - 1 - pos)
+    for pos, q in enumerate(rest):
+        row_axis[q] = 2 * k + (n_rest - 1 - pos)
+        col_axis[q] = 2 * k + n_rest + (n_rest - 1 - pos)
+    perm = [row_axis[q] for q in reversed(range(n_qubits))]
+    perm += [col_axis[q] for q in reversed(range(n_qubits))]
+    return np.ascontiguousarray(full.transpose(perm).reshape(dim, dim))
 
 
 def global_phase_normalize(matrix: np.ndarray) -> np.ndarray:

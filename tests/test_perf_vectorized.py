@@ -1,0 +1,290 @@
+"""Equivalence oracles for the vectorized hot paths.
+
+The batched similarity graph, the fused GRAPE gradient, and the
+reshape/transpose ``embed_unitary`` must match their pre-vectorization
+implementations to 1e-9 — the figure benches reproduce identically only if
+weights, MST order, cost, and gradient are unchanged. The legacy
+implementations live here (and ``build_similarity_graph_pairwise`` in the
+source tree) verbatim as the oracles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import Gate
+from repro.core.similarity import SIMILARITY_NAMES, batched_distance_matrix, get_similarity
+from repro.core.simgraph import (
+    build_similarity_graph,
+    build_similarity_graph_pairwise,
+    prim_compile_sequence,
+)
+from repro.grouping.group import GateGroup
+from repro.qoc.fidelity import infidelity_and_gradient, propagate
+from repro.qoc.hamiltonian import ControlModel
+from repro.utils.linalg import embed_unitary, random_unitary
+from repro.utils.rng import derive_rng
+
+TOL = 1e-9
+
+
+# ----------------------------------------------------- legacy GRAPE oracle
+def legacy_infidelity_and_gradient(amps, model, target, dt):
+    """Pre-vectorization implementation: sequential scans, materialized
+    (N, M, d, d) rotated-control stack. Kept verbatim as the oracle."""
+    n_steps, n_controls = amps.shape
+    d = model.dim
+    controls = np.stack([c.matrix for c in model.controls])
+    hams = np.tensordot(amps, controls, axes=(1, 0)) + model.drift
+    eigvals, eigvecs = np.linalg.eigh(hams)
+    phases = np.exp(-1j * dt * eigvals)
+    step_unitaries = np.einsum("kab,kb,kcb->kac", eigvecs, phases, eigvecs.conj())
+    u_total = np.eye(d, dtype=complex)
+    for k in range(n_steps):
+        u_total = step_unitaries[k] @ u_total
+    overlap = np.trace(target.conj().T @ u_total)
+    cost = float(1.0 - (abs(overlap) ** 2) / d**2)
+
+    forward = np.empty((n_steps + 1, d, d), dtype=complex)
+    forward[0] = np.eye(d)
+    for k in range(n_steps):
+        forward[k + 1] = step_unitaries[k] @ forward[k]
+    backward = np.empty((n_steps + 1, d, d), dtype=complex)
+    backward[n_steps] = np.eye(d)
+    for k in range(n_steps - 1, -1, -1):
+        backward[k] = backward[k + 1] @ step_unitaries[k]
+
+    v_dag = target.conj().T
+    coeff = -2.0 / d**2
+    w = eigvals
+    f = np.exp(-1j * dt * w)
+    dw = w[:, :, None] - w[:, None, :]
+    df = f[:, :, None] - f[:, None, :]
+    degenerate = np.abs(dw) <= 1e-12
+    with np.errstate(divide="ignore", invalid="ignore"):
+        quotient = np.where(degenerate, 0, df / np.where(degenerate, 1, dw))
+    diag_term = (-1j * dt * f)[:, :, None] * np.ones((1, 1, d))
+    quotient = np.where(degenerate, diag_term, quotient)
+
+    q = eigvecs
+    w_k = np.einsum("kab,bc,kcd->kad", forward[:-1], v_dag, backward[1:])
+    w_tilde = np.einsum("kba,kbc,kcd->kad", q.conj(), w_k, q)
+    c_tilde = np.einsum("kba,jbc,kcd->kjad", q.conj(), controls, q)
+    d_tilde = quotient[:, None, :, :] * c_tilde
+    traces = np.einsum("kab,kjba->kj", w_tilde, d_tilde)
+    grad = coeff * np.real(np.conj(overlap) * traces)
+    return cost, grad
+
+
+@pytest.mark.parametrize("n_qubits", [1, 2, 3])
+def test_fused_gradient_matches_legacy_random(n_qubits):
+    model = ControlModel(n_qubits)
+    rng = derive_rng(f"fused-vs-legacy-{n_qubits}")
+    dt = model.physics.dt
+    for trial in range(3):
+        amps = rng.uniform(-0.1, 0.1, size=(11, model.n_controls))
+        target = random_unitary(model.dim, rng)
+        c_new, g_new = infidelity_and_gradient(amps, model, target, dt)
+        c_old, g_old = legacy_infidelity_and_gradient(amps, model, target, dt)
+        assert abs(c_new - c_old) < TOL
+        assert np.max(np.abs(g_new - g_old)) < TOL
+
+
+def test_fused_gradient_matches_legacy_degenerate():
+    """Degenerate-eigenvalue Hamiltonians hit the Daleckii-Krein limit
+    branch: H = 0 (fully degenerate) and a pure XX drive (pairwise
+    degenerate +-u spectrum)."""
+    model = ControlModel(2)
+    dt = model.physics.dt
+    rng = derive_rng("fused-degenerate")
+    target = random_unitary(4, rng)
+    xx_index = model.labels.index("XX01")
+
+    zero_amps = np.zeros((6, model.n_controls))
+    xx_amps = np.zeros((6, model.n_controls))
+    xx_amps[:, xx_index] = 0.03
+    mixed = np.zeros((6, model.n_controls))
+    mixed[::2, xx_index] = 0.05  # alternating degenerate / zero slices
+
+    for amps in (zero_amps, xx_amps, mixed):
+        eigvals = propagate(amps, model, dt).eigvals
+        gaps = np.abs(eigvals[:, :, None] - eigvals[:, None, :])
+        assert np.any(gaps + np.eye(4) < 1e-12)  # genuinely degenerate
+        c_new, g_new = infidelity_and_gradient(amps, model, target, dt)
+        c_old, g_old = legacy_infidelity_and_gradient(amps, model, target, dt)
+        assert abs(c_new - c_old) < TOL
+        assert np.max(np.abs(g_new - g_old)) < TOL
+
+
+def test_propagate_blocked_scan_awkward_lengths():
+    """The blocked prefix scan must agree with the sequential product for
+    lengths that do and don't divide evenly into blocks."""
+    model = ControlModel(2)
+    rng = derive_rng("blocked-scan")
+    dt = model.physics.dt
+    for n_steps in (1, 2, 3, 5, 8, 13, 24, 25):
+        amps = rng.uniform(-0.1, 0.1, size=(n_steps, model.n_controls))
+        prop = propagate(amps, model, dt)
+        expected = np.eye(model.dim, dtype=complex)
+        for k in range(n_steps):
+            expected = prop.step_unitaries[k] @ expected
+            assert np.max(np.abs(prop.forward[k + 1] - expected)) < TOL
+        assert np.max(np.abs(prop.u_total - expected)) < TOL
+
+
+# ------------------------------------------------ similarity graph oracles
+def _random_matrix_groups(dims, tag):
+    """GateGroups over mixed dimensions with Haar-random unitaries."""
+    rng = derive_rng(tag)
+    gate_sets = {
+        2: lambda: [Gate("h", (0,))],
+        4: lambda: [Gate("cx", (0, 1))],
+        8: lambda: [Gate("cx", (0, 1)), Gate("cx", (1, 2))],
+    }
+    groups = []
+    for i, dim in enumerate(dims):
+        group = GateGroup(gates=gate_sets[dim](), node_indices=(i,))
+        group._matrix = random_unitary(dim, rng)
+        groups.append(group)
+    return groups
+
+
+@pytest.mark.parametrize("name", SIMILARITY_NAMES)
+@pytest.mark.parametrize("dim", [2, 4, 8])
+def test_batched_distance_matrix_matches_per_pair(name, dim):
+    rng = derive_rng(f"batched-{name}-{dim}")
+    fn = get_similarity(name)
+    stack = np.stack([random_unitary(dim, rng) for _ in range(6)])
+    out = batched_distance_matrix(name, stack)
+    for i in range(6):
+        for j in range(6):
+            assert abs(out[i, j] - fn(stack[i], stack[j])) < TOL
+
+
+@pytest.mark.parametrize("name", SIMILARITY_NAMES)
+def test_batched_distance_matrix_zero_overlap_pairs(name):
+    """Tr(X^dag Z) = 0 exercises the unaligned (degenerate-phase) branch."""
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    z = np.diag([1.0 + 0j, -1.0])
+    fn = get_similarity(name)
+    out = batched_distance_matrix(name, np.stack([x, z]))
+    assert abs(out[0, 1] - fn(x, z)) < TOL
+    assert abs(out[1, 0] - fn(z, x)) < TOL
+
+
+@pytest.mark.parametrize("name", SIMILARITY_NAMES)
+def test_similarity_graph_matches_pairwise_mixed_dims(name):
+    groups = _random_matrix_groups([2, 4, 4, 8, 2, 4, 8, 8, 4, 2], f"sg-{name}")
+    batched = build_similarity_graph(groups, name)
+    pairwise = build_similarity_graph_pairwise(groups, name)
+    assert np.array_equal(
+        np.isinf(batched.weights), np.isinf(pairwise.weights)
+    )
+    finite = np.isfinite(pairwise.weights)
+    assert np.max(np.abs(batched.weights[finite] - pairwise.weights[finite])) < TOL
+    assert np.max(np.abs(batched.identity_row - pairwise.identity_row)) < TOL
+    assert np.allclose(batched.weights, batched.weights.T, equal_nan=True)
+
+
+@pytest.mark.parametrize("name", SIMILARITY_NAMES)
+def test_mst_order_matches_pairwise(name):
+    """Same weights => same Prim insertion order, parents and total."""
+    groups = _random_matrix_groups([4] * 12 + [2] * 4, f"mst-{name}")
+    seq_new = prim_compile_sequence(build_similarity_graph(groups, name))
+    seq_old = prim_compile_sequence(build_similarity_graph_pairwise(groups, name))
+    assert seq_new.order == seq_old.order
+    assert seq_new.parent == seq_old.parent
+    assert seq_new.total_weight == pytest.approx(seq_old.total_weight, abs=TOL)
+
+
+def test_similarity_graph_duplicate_groups():
+    """Identical matrices (weight ~0 pairs) stay exact under batching."""
+    groups = _random_matrix_groups([4, 4], "sg-dup")
+    groups[1]._matrix = groups[0]._matrix.copy()
+    for name in SIMILARITY_NAMES:
+        batched = build_similarity_graph(groups, name)
+        pairwise = build_similarity_graph_pairwise(groups, name)
+        assert abs(batched.weights[0, 1] - pairwise.weights[0, 1]) < TOL
+
+
+# --------------------------------------------------- embed_unitary oracle
+def legacy_embed_unitary(gate_matrix, qubits, n_qubits):
+    """Pre-vectorization nested bit-loop implementation (the oracle)."""
+    qubits = list(qubits)
+    k = len(qubits)
+    dim = 2**n_qubits
+    out = np.zeros((dim, dim), dtype=complex)
+    rest = [q for q in range(n_qubits) if q not in qubits]
+    for rest_bits in range(2 ** len(rest)):
+        base = 0
+        for pos, q in enumerate(rest):
+            if (rest_bits >> pos) & 1:
+                base |= 1 << q
+        for col_local in range(2**k):
+            col = base
+            for pos, q in enumerate(qubits):
+                if (col_local >> pos) & 1:
+                    col |= 1 << q
+            for row_local in range(2**k):
+                amp = gate_matrix[row_local, col_local]
+                if amp == 0:
+                    continue
+                row = base
+                for pos, q in enumerate(qubits):
+                    if (row_local >> pos) & 1:
+                        row |= 1 << q
+                out[row, col] = amp
+    return out
+
+
+def test_embed_unitary_matches_legacy_exhaustive_placements():
+    """Every (k, placement) combination for n <= 4, random gate matrices."""
+    from itertools import permutations
+
+    rng = derive_rng("embed-oracle")
+    for n in (1, 2, 3, 4):
+        for k in range(1, n + 1):
+            gate = random_unitary(2**k, rng)
+            for placement in permutations(range(n), k):
+                new = embed_unitary(gate, placement, n)
+                old = legacy_embed_unitary(gate, placement, n)
+                assert np.max(np.abs(new - old)) < TOL
+
+
+def test_control_model_caches_are_immutable():
+    """The cached stacks (and the drift baked into them) cannot be
+    mutated or rebound, so the fused path can never silently desync."""
+    model = ControlModel(2)
+    with pytest.raises(ValueError):
+        model.control_matrices()[0, 0, 0] = 1.0
+    with pytest.raises(ValueError):
+        model.drift[0, 0] = 1.0
+    with pytest.raises(ValueError):
+        model.controls[0].matrix[0, 0] = 1.0  # would desync the cache
+    with pytest.raises(AttributeError):
+        model.drift = np.zeros((4, 4), dtype=complex)
+    assert model.control_matrices() is model.control_matrices()  # no restack
+
+
+def test_batched_distance_matrix_rejects_unknown_kernels():
+    rng = derive_rng("batched-unknown")
+    stack = np.stack([random_unitary(2, rng) for _ in range(2)])
+    with pytest.raises(KeyError):
+        batched_distance_matrix("nope", stack)  # unregistered name
+    from repro.core import similarity as sim
+
+    sim.SIMILARITY_FUNCTIONS["registered_but_unbatched"] = sim.l2_distance
+    try:
+        with pytest.raises(NotImplementedError):
+            batched_distance_matrix("registered_but_unbatched", stack)
+    finally:
+        del sim.SIMILARITY_FUNCTIONS["registered_but_unbatched"]
+
+
+def test_embed_unitary_matches_legacy_sparse_gate():
+    """Zero entries (skipped by the legacy loop) embed identically."""
+    cx = np.zeros((4, 4), dtype=complex)
+    cx[0, 0] = cx[1, 3] = cx[2, 2] = cx[3, 1] = 1.0
+    for placement in [(0, 2), (2, 0), (1, 3)]:
+        new = embed_unitary(cx, placement, 4)
+        old = legacy_embed_unitary(cx, placement, 4)
+        assert np.array_equal(new, old)
