@@ -1,62 +1,70 @@
-"""Parallel compilation via balanced MST partitioning (paper Sec V-D).
+"""Parallel compilation via the batch service planner (paper Sec V-D).
 
 The MST's "soft" dependencies let any group train from the identity instead
 of its parent, so the tree can be cut into balanced connected parts — one
-per worker — with only a mild warm-start penalty at the cuts. The paper uses
-METIS; this library solves the min-max tree partition exactly (binary search
-on the bottleneck + greedy subtree cuts).
+per worker. The weight model (cold iterations at the roots, warm-ratio-
+scaled iterations along tree edges) and the min-max tree cut now live in the
+library (`repro.core.partition`, `repro.service.planner`); this example just
+drives them, then actually executes the 4-worker plan on the thread-pool
+executor.
 
 Run:  python examples/parallel_workers.py
 """
 
-from repro import AccQOC, PipelineConfig, build_named, small_suite
-from repro.core.partition import node_weights_from_sequence, partition_tree
-from repro.core.simgraph import build_similarity_graph, prim_compile_sequence
+from repro import AccQOC, PipelineConfig, build_named
+from repro.core.cache import PulseLibrary
+from repro.service import CompilePlanner, WorkerPoolExecutor
 
 
 def main() -> None:
     acc = AccQOC(PipelineConfig(policy_name="map2b4l"))
 
-    # No pre-compiled library here: partition the *whole* unique-group set of
-    # a large program, the worst case for dynamic compilation.
+    # No pre-compiled library here: plan the *whole* unique-group set of a
+    # large program, the worst case for dynamic compilation.
     program = build_named("qft_16")
-    front, groups = acc.groups_of(program)
-    from repro.grouping import dedupe_groups
+    planner = CompilePlanner(acc)
+    empty = PulseLibrary()
 
-    uncovered = [
-        g for g in dedupe_groups(groups).unique
-        if not acc.engine.estimator.is_virtual_diagonal(g.matrix())
-    ]
-    print(f"program {program.name}: {len(groups)} groups, "
-          f"{len(uncovered)} unique to compile")
-
-    graph = build_similarity_graph(uncovered, "fidelity1")
-    sequence = prim_compile_sequence(graph)
-    # Node weight = modelled training cost: cold iterations at the roots,
-    # warm-ratio-scaled iterations along tree edges.
-    model = acc.engine.iterations
-    raw = node_weights_from_sequence(sequence, root_weight=1.0)
-    weights = {}
-    for vertex in sequence.order:
-        base = model.base(uncovered[vertex].n_qubits)
-        from repro.core.simgraph import IDENTITY_VERTEX
-
-        if sequence.parent[vertex] == IDENTITY_VERTEX:
-            weights[vertex] = base
-        else:
-            weights[vertex] = base * model.warm_ratio(raw[vertex])
-    serial = sum(weights.values())
-
-    print(f"\n{'workers':>8} | {'bottleneck':>10} | {'parallel speedup':>16}")
-    print("-" * 40)
+    print(f"{'workers':>8} | {'bottleneck':>10} | {'modelled speedup':>16}")
+    print("-" * 42)
     for k in (1, 2, 4, 8):
-        part = partition_tree(sequence, weights, k)
-        speedup = serial / part.bottleneck if part.bottleneck else float("inf")
-        print(f"{k:8d} | {part.bottleneck:10.3f} | {speedup:15.2f}x")
+        plan = planner.plan([program], empty, k)
+        print(
+            f"{k:8d} | {plan.bottleneck:10.1f} | "
+            f"{plan.modelled_speedup:15.2f}x"
+        )
 
-    part = partition_tree(sequence, weights, 4)
-    print("\n4-worker assignment (group counts per worker):",
-          [len(p) for p in part.parts])
+    plan = planner.plan([program], empty, 4)
+    print(
+        f"\nprogram {program.name}: "
+        f"{sum(len(groups) for groups in plan.groups_per_program)} groups, "
+        f"{plan.batch.merged.n_unique} unique, "
+        f"{len(plan.uncovered)} to compile "
+        f"({len(plan.trivial)} virtual-diagonal are free)"
+    )
+    print(
+        "4-worker assignment (group counts per worker):",
+        [len(p.indices) for p in plan.worker_plans],
+    )
+    print(
+        "part weights (modelled iterations):",
+        [round(p.weight, 1) for p in plan.worker_plans],
+    )
+
+    # Execute the plan for real on the thread pool; worker k's solve time
+    # lands in the perf counters as execute.worker<k>.*.
+    from repro.perf.instrument import PerfRecorder
+
+    perf = PerfRecorder()
+    executor = WorkerPoolExecutor(
+        acc.engine, backend="thread", n_workers=4, perf=perf
+    )
+    records = executor.run(plan, empty)
+    print(
+        f"\nexecuted on 4 thread workers: {len(records)} groups, "
+        f"{sum(r.iterations for r in records)} modelled iterations"
+    )
+    print(perf.report("qft_16 / 4 thread workers").format_table())
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from repro.core import (
 )
 from repro.grouping import ALL_POLICIES, GateGroup, group_circuit, make_policy
 from repro.mapping import AStarMapper, crosstalk_metric, melbourne
+from repro.service import CompileService, PulseStore
 from repro.qoc import (
     ControlModel,
     LatencyEstimator,
@@ -60,6 +61,8 @@ __all__ = [
     "PulseLibrary",
     "StaticPrecompiler",
     "brute_force_compile",
+    "CompileService",
+    "PulseStore",
     "build_similarity_graph",
     "prim_compile_sequence",
     "ALL_POLICIES",

@@ -8,6 +8,8 @@ Usage::
     python -m repro all                     # the full evaluation section
     python -m repro perf                    # hot-path timings + breakdown
     python -m repro perf --json             # same, machine-readable
+    python -m repro batch qft_16 ex2 --store /tmp/pulses   # batch service
+    python -m repro serve --store /tmp/pulses              # JSON-lines loop
 """
 
 from __future__ import annotations
@@ -58,13 +60,21 @@ def _run(name: str, mode: str) -> None:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Service subcommands parse their own flags (repro serve/batch --store ...).
+    if argv and argv[0] in ("serve", "batch"):
+        from repro.service.frontdoor import cmd_batch, cmd_serve
+
+        handler = cmd_serve if argv[0] == "serve" else cmd_batch
+        return handler(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="AccQOC reproduction: regenerate paper tables/figures.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), or 'all', 'list', 'perf'",
+        help="experiment id (see 'list'), or 'all', 'list', 'perf', "
+             "'serve', 'batch'",
     )
     parser.add_argument(
         "--mode",
@@ -83,6 +93,8 @@ def main(argv=None) -> int:
         for name in EXPERIMENTS:
             print(name)
         print("perf")
+        print("serve")
+        print("batch")
         return 0
     if args.experiment == "perf":
         from repro.perf.hotpaths import run_perf

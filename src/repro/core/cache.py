@@ -46,6 +46,43 @@ class CoverageReport:
         return self.n_covered / self.n_groups
 
 
+def entry_to_dict(entry: LibraryEntry) -> Dict:
+    """Serialize one library entry (shared by the library and the disk store)."""
+    group = entry.group
+    return {
+        "key": entry.group.key().hex(),
+        "latency": entry.latency,
+        "iterations": entry.iterations,
+        "converged": entry.converged,
+        "n_qubits": group.n_qubits,
+        "gates": [
+            {"name": g.name, "qubits": list(g.qubits), "params": list(g.params)}
+            for g in group.gates
+        ],
+        "node_indices": list(group.node_indices),
+        "pulse": entry.pulse.to_dict() if entry.pulse else None,
+    }
+
+
+def entry_from_dict(raw: Dict) -> LibraryEntry:
+    """Inverse of :func:`entry_to_dict`."""
+    from repro.circuits.gates import Gate
+
+    gates = [
+        Gate(g["name"], tuple(g["qubits"]), tuple(g["params"]))
+        for g in raw["gates"]
+    ]
+    group = GateGroup(gates=gates, node_indices=tuple(raw.get("node_indices", ())))
+    pulse = Pulse.from_dict(raw["pulse"]) if raw.get("pulse") else None
+    return LibraryEntry(
+        group=group,
+        pulse=pulse,
+        latency=float(raw["latency"]),
+        iterations=int(raw["iterations"]),
+        converged=bool(raw.get("converged", True)),
+    )
+
+
 class PulseLibrary:
     """Canonical-keyed store of compiled group pulses."""
 
@@ -69,6 +106,18 @@ class PulseLibrary:
 
     def lookup(self, group: GateGroup) -> Optional[LibraryEntry]:
         return self._entries.get(group.key())
+
+    def lookup_key(self, key: bytes) -> Optional[LibraryEntry]:
+        """Direct canonical-key access (the disk store addresses by key)."""
+        return self._entries.get(key)
+
+    def remove(self, key: bytes) -> Optional[LibraryEntry]:
+        """Drop an entry by key (store eviction); returns it when present."""
+        return self._entries.pop(key, None)
+
+    def merge(self, other: "PulseLibrary") -> None:
+        """Absorb ``other``'s entries; its entries win on key collisions."""
+        self._entries.update(other._entries)
 
     def latency_of(self, group: GateGroup) -> float:
         entry = self.lookup(group)
@@ -112,26 +161,7 @@ class PulseLibrary:
 
     # -------------------------------------------------------- serialization
     def to_dict(self) -> Dict:
-        out = []
-        for key, entry in self._entries.items():
-            group = entry.group
-            out.append(
-                {
-                    "key": key.hex(),
-                    "latency": entry.latency,
-                    "iterations": entry.iterations,
-                    "converged": entry.converged,
-                    "n_qubits": group.n_qubits,
-                    "gates": [
-                        {"name": g.name, "qubits": list(g.qubits),
-                         "params": list(g.params)}
-                        for g in group.gates
-                    ],
-                    "node_indices": list(group.node_indices),
-                    "pulse": entry.pulse.to_dict() if entry.pulse else None,
-                }
-            )
-        return {"entries": out}
+        return {"entries": [entry_to_dict(e) for e in self._entries.values()]}
 
     def save(self, path: str) -> None:
         with open(path, "w") as handle:
@@ -139,27 +169,9 @@ class PulseLibrary:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "PulseLibrary":
-        from repro.circuits.gates import Gate
-
         library = cls()
         for raw in data.get("entries", ()):
-            gates = [
-                Gate(g["name"], tuple(g["qubits"]), tuple(g["params"]))
-                for g in raw["gates"]
-            ]
-            group = GateGroup(
-                gates=gates, node_indices=tuple(raw.get("node_indices", ()))
-            )
-            pulse = Pulse.from_dict(raw["pulse"]) if raw.get("pulse") else None
-            library.add(
-                LibraryEntry(
-                    group=group,
-                    pulse=pulse,
-                    latency=float(raw["latency"]),
-                    iterations=int(raw["iterations"]),
-                    converged=bool(raw.get("converged", True)),
-                )
-            )
+            library.add(entry_from_dict(raw))
         return library
 
     @classmethod

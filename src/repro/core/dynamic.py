@@ -15,9 +15,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.cache import PulseLibrary
-from repro.core.engines import CompileRecord
-from repro.core.similarity import get_similarity
+from repro.core.engines import CompileRecord, compile_with_engine
+from repro.core.similarity import batched_distance_matrix, get_similarity
 from repro.core.simgraph import (
     IDENTITY_VERTEX,
     CompileSequence,
@@ -27,6 +29,79 @@ from repro.core.simgraph import (
 from repro.grouping.group import GateGroup
 from repro.perf.instrument import PerfRecorder, recorder_or_null
 from repro.qoc.pulse import Pulse
+
+
+def best_library_seed(
+    group: GateGroup,
+    library: PulseLibrary,
+    similarity: str = "fidelity1",
+    threshold: float = 0.5,
+) -> Tuple[Optional[Pulse], Optional[GateGroup]]:
+    """Most similar same-dimension library pulse below ``threshold``.
+
+    Returns ``(pulse, source_group)`` — both ``None`` when nothing in the
+    library is close enough, in which case the caller starts cold. Shared by
+    the serial :class:`AcceleratedCompiler` and the batch service executor.
+    """
+    fn = get_similarity(similarity)
+    best: Tuple[float, Optional[Pulse], Optional[GateGroup]] = (
+        threshold,
+        None,
+        None,
+    )
+    matrix = group.matrix()
+    for entry in library.entries():
+        if entry.group.dim != group.dim or entry.pulse is None:
+            continue
+        weight = fn(matrix, entry.group.matrix())
+        if weight < best[0]:
+            best = (weight, entry.pulse, entry.group)
+    return best[1], best[2]
+
+
+def best_library_seeds(
+    groups: Sequence[GateGroup],
+    library: PulseLibrary,
+    similarity: str = "fidelity1",
+    threshold: float = 0.5,
+) -> List[Tuple[Optional[Pulse], Optional[GateGroup]]]:
+    """Batched :func:`best_library_seed` over many query groups.
+
+    One Gram-matrix distance block per dimension class (queries x library
+    entries) instead of a per-pair Python double loop — the same batching
+    ``build_similarity_graph`` uses. Ties resolve to the lowest entry index,
+    matching the per-pair scan's first-strict-improvement rule.
+    """
+    get_similarity(similarity)  # validate the name up front
+    groups = list(groups)
+    results: List[Tuple[Optional[Pulse], Optional[GateGroup]]] = [
+        (None, None)
+    ] * len(groups)
+    entries = [e for e in library.entries() if e.pulse is not None]
+    if not entries or not groups:
+        return results
+    queries_by_dim: Dict[int, List[int]] = {}
+    for i, group in enumerate(groups):
+        queries_by_dim.setdefault(group.dim, []).append(i)
+    entries_by_dim: Dict[int, List[int]] = {}
+    for j, entry in enumerate(entries):
+        entries_by_dim.setdefault(entry.group.dim, []).append(j)
+    for dim, query_idx in queries_by_dim.items():
+        entry_idx = entries_by_dim.get(dim)
+        if not entry_idx:
+            continue
+        query_stack = np.stack([groups[i].matrix() for i in query_idx])
+        entry_stack = np.stack(
+            [entries[j].group.matrix() for j in entry_idx]
+        )
+        block = batched_distance_matrix(similarity, query_stack, entry_stack)
+        best_cols = block.argmin(axis=1)
+        for row, i in enumerate(query_idx):
+            weight = float(block[row, best_cols[row]])
+            if weight < threshold:
+                winner = entries[entry_idx[int(best_cols[row])]]
+                results[i] = (winner.pulse, winner.group)
+    return results
 
 
 @dataclass
@@ -119,26 +194,13 @@ class AcceleratedCompiler:
 
     # ------------------------------------------------------------------ impl
     def _compile(self, group, warm_pulse, warm_source, tag) -> CompileRecord:
-        if hasattr(self.engine, "iterations"):  # ModelEngine
-            return self.engine.compile_group(
-                group, warm_pulse=warm_pulse, warm_source=warm_source, seed_tag=tag
-            )
-        return self.engine.compile_group(group, warm_pulse=warm_pulse, seed_tag=tag)
+        return compile_with_engine(
+            self.engine, group, warm_pulse, warm_source, seed_tag=tag
+        )
 
     def _best_library_seed(
         self, group: GateGroup, library: PulseLibrary
     ) -> Tuple[Optional[Pulse], Optional[GateGroup]]:
-        fn = get_similarity(self.similarity)
-        best: Tuple[float, Optional[Pulse], Optional[GateGroup]] = (
-            self.library_seed_threshold,
-            None,
-            None,
+        return best_library_seed(
+            group, library, self.similarity, self.library_seed_threshold
         )
-        matrix = group.matrix()
-        for entry in library.entries():
-            if entry.group.dim != group.dim or entry.pulse is None:
-                continue
-            weight = fn(matrix, entry.group.matrix())
-            if weight < best[0]:
-                best = (weight, entry.pulse, entry.group)
-        return best[1], best[2]

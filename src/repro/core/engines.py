@@ -53,6 +53,28 @@ class CompileRecord:
     warm_started: bool = False
 
 
+def compile_with_engine(
+    engine,
+    group: GateGroup,
+    warm_pulse: Optional[Pulse] = None,
+    warm_source: Optional[GateGroup] = None,
+    seed_tag: str = "",
+) -> CompileRecord:
+    """Engine-agnostic ``compile_group`` dispatch.
+
+    :class:`ModelEngine` prices warm starts off the *source group*'s true
+    distance (its ``warm_source`` keyword); :class:`GrapeEngine` only takes
+    the seed pulse. Shared by the serial compilers and the batch service
+    workers, so the two call conventions live in exactly one place.
+    """
+    if hasattr(engine, "iterations"):  # ModelEngine-shaped
+        return engine.compile_group(
+            group, warm_pulse=warm_pulse, warm_source=warm_source,
+            seed_tag=seed_tag,
+        )
+    return engine.compile_group(group, warm_pulse=warm_pulse, seed_tag=seed_tag)
+
+
 class GrapeEngine:
     """Real QOC compilation: GRAPE with latency binary search."""
 

@@ -50,6 +50,31 @@ def node_weights_from_sequence(
     return weights
 
 
+def modelled_node_weights(
+    sequence: CompileSequence,
+    groups: Sequence,
+    iteration_model,
+    root_weight: float = 1.0,
+) -> Dict[int, float]:
+    """Node weights in *modelled optimizer iterations* (paper Sec V-D).
+
+    Roots (identity-attached vertices) cost a cold solve, ``base(n_qubits)``;
+    tree children cost the warm-started fraction of the same base, with the
+    warm ratio driven by the MST edge weight to the parent. ``iteration_model``
+    is duck-typed (``base(n_qubits)`` + ``warm_ratio(distance)``), i.e. any
+    :class:`repro.core.engines.IterationModel`-shaped object.
+    """
+    raw = node_weights_from_sequence(sequence, root_weight=root_weight)
+    weights: Dict[int, float] = {}
+    for vertex in sequence.order:
+        base = iteration_model.base(groups[vertex].n_qubits)
+        if sequence.parent[vertex] == IDENTITY_VERTEX:
+            weights[vertex] = base
+        else:
+            weights[vertex] = base * iteration_model.warm_ratio(raw[vertex])
+    return weights
+
+
 def partition_tree(
     sequence: CompileSequence,
     node_weights: Dict[int, float],

@@ -10,6 +10,7 @@ gate-based baseline concatenates per-gate pulses of the same mapped circuit.
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -75,6 +76,25 @@ class CompiledProgram:
         return self.coverage.rate
 
 
+def program_latencies(
+    front: FrontEndResult,
+    groups: Sequence[GateGroup],
+    latencies: Dict[bytes, float],
+    engine,
+) -> Tuple[float, float]:
+    """(AccQOC overall latency, gate-based baseline latency) of one program.
+
+    ``latencies`` maps canonical group keys to pulse latencies; every group of
+    the program must be priced. Shared by :meth:`AccQOC.compile` and the batch
+    compilation service, which assembles ``latencies`` from its disk store.
+    """
+    total_latency = overall_latency(
+        front.prepared, list(groups), lambda g: latencies[g.key()]
+    )
+    gate_latency = engine.gate_table().circuit_latency(front.gate_based)
+    return total_latency, gate_latency
+
+
 class AccQOC:
     """The full static/dynamic hybrid workflow."""
 
@@ -90,12 +110,18 @@ class AccQOC:
         self.crosstalk_aware = crosstalk_aware
         self.library = PulseLibrary()
         self._front_end_cache: Dict[int, FrontEndResult] = {}
+        self._front_end_refs: Dict[int, "weakref.ref[Circuit]"] = {}
 
     # -------------------------------------------------------------- front end
     def front_end(self, circuit: Circuit) -> FrontEndResult:
+        # Keyed by id() with a weakref guard: a dead circuit's recycled id
+        # must not serve another circuit's front end, and dead entries are
+        # evicted so a long-lived service does not grow without bound.
         cache_key = id(circuit)
-        if cache_key in self._front_end_cache:
-            return self._front_end_cache[cache_key]
+        cached = self._front_end_cache.get(cache_key)
+        ref = self._front_end_refs.get(cache_key)
+        if cached is not None and ref is not None and ref() is circuit:
+            return cached
         native = circuit.decompose_to_native()
         topology = topology_for(native.n_qubits)
         mapper = AStarMapper(topology, crosstalk_aware=self.crosstalk_aware)
@@ -114,6 +140,13 @@ class AccQOC:
             crosstalk=crosstalk_metric(prepared, topology),
         )
         self._front_end_cache[cache_key] = result
+        cache, refs = self._front_end_cache, self._front_end_refs
+
+        def _evict(_ref, key=cache_key):
+            cache.pop(key, None)
+            refs.pop(key, None)
+
+        refs[cache_key] = weakref.ref(circuit, _evict)
         return result
 
     def groups_of(self, circuit: Circuit) -> Tuple[FrontEndResult, List[GateGroup]]:
@@ -187,13 +220,10 @@ class AccQOC:
             latencies.update(dynamic_report.latency_of())
             compile_iterations = dynamic_report.total_iterations
 
-        def latency_of(group: GateGroup) -> float:
-            return latencies[group.key()]
-
         with perf.stage("latency"):
-            total_latency = overall_latency(front.prepared, groups, latency_of)
-            gate_table = self.engine.gate_table()
-            gate_latency = gate_table.circuit_latency(front.gate_based)
+            total_latency, gate_latency = program_latencies(
+                front, groups, latencies, self.engine
+            )
         return CompiledProgram(
             name=circuit.name or "<unnamed>",
             front_end=front,

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.cache import LibraryEntry, PulseLibrary
-from repro.core.engines import CompileRecord
+from repro.core.engines import CompileRecord, compile_with_engine
 from repro.core.simgraph import (
     IDENTITY_VERTEX,
     CompileSequence,
@@ -108,12 +108,8 @@ class StaticPrecompiler:
 
     # ------------------------------------------------------------------ impl
     def _compile(self, group, warm_pulse, warm_source, tag) -> CompileRecord:
-        if hasattr(self.engine, "iterations"):  # ModelEngine path
-            return self.engine.compile_group(
-                group, warm_pulse=warm_pulse, warm_source=warm_source, seed_tag=tag
-            )
-        return self.engine.compile_group(
-            group, warm_pulse=warm_pulse, seed_tag=tag
+        return compile_with_engine(
+            self.engine, group, warm_pulse, warm_source, seed_tag=tag
         )
 
     def _compile_cost_cold(self, group: GateGroup) -> int:

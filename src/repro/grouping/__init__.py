@@ -1,7 +1,13 @@
 """Gate grouping: Algorithms 1-2, the 2bnl policies, de-duplication."""
 
 from repro.grouping.bit_partition import bit_partition
-from repro.grouping.dedup import DedupResult, dedupe_groups, merge_dedups
+from repro.grouping.dedup import (
+    BatchDedup,
+    DedupResult,
+    dedupe_batch,
+    dedupe_groups,
+    merge_dedups,
+)
 from repro.grouping.group import GateGroup
 from repro.grouping.layer_partition import layer_partition
 from repro.grouping.policies import (
@@ -18,6 +24,8 @@ __all__ = [
     "layer_partition",
     "GateGroup",
     "DedupResult",
+    "BatchDedup",
+    "dedupe_batch",
     "dedupe_groups",
     "merge_dedups",
     "ALL_POLICIES",

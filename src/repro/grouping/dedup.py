@@ -66,3 +66,36 @@ def merge_dedups(results: Sequence[DedupResult]) -> DedupResult:
                 unique.append(group)
         counts.update(result.counts)
     return DedupResult(unique=unique, counts=counts, index_of=index_of)
+
+
+@dataclass
+class BatchDedup:
+    """Cross-batch dedup: one unique set, plus who references what.
+
+    ``merged`` holds the union over all programs; ``per_program`` keeps each
+    program's own dedup (its key set is what coverage/latency assembly needs);
+    ``programs_of[key]`` lists the program indices referencing a unique group
+    — a group shared by two requests in a batch compiles exactly once.
+    """
+
+    merged: DedupResult
+    per_program: List[DedupResult]
+    programs_of: Dict[bytes, List[int]]
+
+    @property
+    def n_shared(self) -> int:
+        """Unique groups referenced by more than one program of the batch."""
+        return sum(1 for refs in self.programs_of.values() if len(refs) > 1)
+
+
+def dedupe_batch(groups_per_program: Sequence[Sequence[GateGroup]]) -> BatchDedup:
+    """Dedupe each program, then across the whole batch (see the service)."""
+    per_program = [dedupe_groups(groups) for groups in groups_per_program]
+    merged = merge_dedups(per_program)
+    programs_of: Dict[bytes, List[int]] = {}
+    for i, result in enumerate(per_program):
+        for key in result.index_of:
+            programs_of.setdefault(key, []).append(i)
+    return BatchDedup(
+        merged=merged, per_program=per_program, programs_of=programs_of
+    )

@@ -107,9 +107,38 @@ def pipeline_report() -> PerfReport:
     return report
 
 
+def service_report() -> PerfReport:
+    """Batch-service breakdown: plan / per-worker solve / store I/O.
+
+    Runs a two-program batch against a throwaway store in a temp directory —
+    the same stages a production ``repro serve`` loop spends its time in
+    (``service.plan``, ``execute.worker<k>.*``, ``store.read``/``write``).
+    """
+    import tempfile
+
+    from repro.service import CompileService, PulseStore
+    from repro.workloads import qft
+
+    with tempfile.TemporaryDirectory() as root:
+        store_perf = PerfRecorder()
+        store = PulseStore(root, perf=store_perf)
+        service = CompileService(store, backend="thread", n_workers=2)
+        batch = service.submit_batch([qft(4), qft(5)])
+        report = batch.perf or PerfReport(label="service (no perf recorded)")
+        merged = PerfRecorder()
+        merged.merge_report(report)
+        merged.merge_report(store_perf.report())
+        return merged.report("service batch: qft_4 + qft_5, 2 thread workers")
+
+
 def run_perf(as_json: bool = False) -> str:
     """The ``repro perf`` entry point: all hot-path reports, rendered."""
-    reports = [gradient_report(), simgraph_report(), pipeline_report()]
+    reports = [
+        gradient_report(),
+        simgraph_report(),
+        pipeline_report(),
+        service_report(),
+    ]
     if as_json:
         import json
 

@@ -50,6 +50,24 @@ class PerfRecorder:
         """Increment a named counter."""
         self.counters[name] = self.counters.get(name, 0) + int(n)
 
+    def merge_report(self, report: PerfReport, prefix: str = "") -> None:
+        """Fold a finished :class:`PerfReport` into this recorder.
+
+        Stage totals and call counts add; counters add. ``prefix`` namespaces
+        the incoming names (``worker0.`` + ``solve`` -> ``worker0.solve``) —
+        this is how per-worker recorders from the service's process pool are
+        folded back into the batch-level recorder.
+        """
+        for stat in report.stages:
+            name = prefix + stat.name
+            mine = self.stages.get(name)
+            if mine is None:
+                mine = self.stages[name] = StageStat(name=name)
+            mine.calls += stat.calls
+            mine.total_s += stat.total_s
+        for name, value in report.counters.items():
+            self.count(prefix + name, value)
+
     def report(self, label: str = "") -> PerfReport:
         """Immutable snapshot of everything recorded so far."""
         return PerfReport(

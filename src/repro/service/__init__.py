@@ -1,0 +1,102 @@
+"""Batch compilation service: persistent pulses, parallel workers, serving.
+
+The one-shot :class:`repro.core.pipeline.AccQOC` pipeline compiles a program
+and forgets everything when the process exits. This package turns that
+pipeline into a long-lived *service* that amortizes pulse compilation across
+requests, processes, and machine restarts — the substrate the ROADMAP's
+scaling work (sharding, multi-backend) plugs into.
+
+Store layout
+------------
+:class:`~repro.service.store.PulseStore` persists one directory per store::
+
+    <root>/manifest.json          {"version": 1, "entries": {keyhex: meta}}
+    <root>/entries/<keyhex>.json  one LibraryEntry each (entry_to_dict)
+
+Entries are content-addressed by the *canonical group key* — the group
+unitary modulo global phase and wire permutation — so a stored pulse serves
+every occurrence of the group, including wire-permuted ones (the lookup
+relabels drive lines, exactly as the in-memory ``PulseLibrary`` does).
+Writes are atomic (temp file + ``os.replace``); the entry file lands before
+the manifest, so a crash leaves at worst an orphan entry file, never a torn
+store. The manifest is versioned and carries LRU recency, so a bounded store
+(``max_entries``) evicts the coldest key even across restarts. Hit, miss,
+put, and eviction counters live in ``store.stats``.
+
+Batch planning and execution
+----------------------------
+:class:`~repro.service.planner.CompilePlanner` dedupes groups across the
+*whole* batch (``grouping.dedup.dedupe_batch``) — a group shared by two
+requests is compiled once — subtracts what the store already covers, builds
+one shared similarity MST over the rest, and cuts it into balanced connected
+parts with ``core.partition.partition_tree`` under the modelled
+iteration-cost weights (``core.partition.modelled_node_weights``, paper
+Sec V-D). :class:`~repro.service.executor.WorkerPoolExecutor` runs the parts
+on a backend.
+
+Coalescing semantics
+--------------------
+Concurrent batches may race for the same group. Before solving, a batch
+*claims* each uncovered canonical key in the service's
+:class:`~repro.service.executor.GroupCoalescer`; exactly one claimant owns
+the solve, everyone else blocks on a future and reuses the owner's record.
+Claims are released (resolved or failed) before the owning batch returns, so
+a key is never compiled twice concurrently and never leaks on error.
+
+Thread vs process backends
+--------------------------
+Both implement one interface (``map_parts``), mirroring the
+``GrapeEngine``/``ModelEngine`` split — pick per deployment:
+
+* ``thread`` (default): zero serialization cost, shared engine caches.
+  GRAPE's inner loops are BLAS calls that release the GIL, so threads
+  overlap well for medium groups; pure-Python stages still serialize.
+* ``process``: true parallelism regardless of the GIL, at the cost of
+  pickling the engine and groups per part and ~100 ms of pool startup —
+  the right choice for long solves (real GRAPE at scale). Single-part
+  plans short-circuit to the serial path to skip the startup tax.
+* ``serial``: deterministic debugging baseline.
+
+Warm starts default to ``warm="store"``: every group is seeded from the
+store snapshot taken at batch start, which makes pulse content a pure
+function of (group, snapshot, run config) — independent of worker count and
+batch composition, so the content-addressed store stays coherent.
+``warm="chain"`` restores the paper's within-part MST chaining for
+experiments (see ``executor``'s module docstring for the tradeoff).
+
+Front door
+----------
+``repro serve`` is a JSON-lines request loop on stdin/stdout; ``repro
+batch`` compiles a workload list as one batch. Both take ``--store``,
+``--workers``, ``--backend``, ``--engine``; see ``repro.service.frontdoor``.
+"""
+
+from repro.service.executor import (
+    GroupCoalescer,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkerPoolExecutor,
+    make_backend,
+)
+from repro.service.planner import BatchPlan, CompilePlanner, WorkerPlan
+from repro.service.service import BatchReport, CompileService, RequestReport
+from repro.service.store import PulseStore, StoreStats, StoreVersionError
+
+__all__ = [
+    "BatchPlan",
+    "BatchReport",
+    "CompilePlanner",
+    "CompileService",
+    "GroupCoalescer",
+    "ProcessBackend",
+    "PulseStore",
+    "RequestReport",
+    "SerialBackend",
+    "StoreStats",
+    "StoreVersionError",
+    "ThreadBackend",
+    "WorkerPlan",
+    "WorkerPoolExecutor",
+    "make_backend",
+]

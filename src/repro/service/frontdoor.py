@@ -1,0 +1,281 @@
+"""``repro serve`` and ``repro batch``: the service's CLI front door.
+
+``repro serve`` reads JSON-lines requests from stdin and answers on stdout —
+the minimal long-lived deployment: a persistent store directory plus a
+request loop that amortizes compilation across everything it has ever seen.
+
+``repro batch`` compiles a workload list (named programs, ``.qasm`` files,
+or directories of them) as *one* batch: groups dedupe across all programs,
+the shared MST is cut across the worker pool, and the store ends warm. Run
+it twice against the same store and the second run solves nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import IO, List, Sequence
+
+from repro.circuits.circuit import Circuit
+from repro.service.protocol import (
+    ProtocolError,
+    encode,
+    error_response,
+    parse_request,
+    request_circuit,
+    resolve_program,
+    response_for,
+)
+from repro.service.service import BatchReport, CompileService
+from repro.service.store import PulseStore, StoreVersionError
+from repro.utils.config import PipelineConfig
+
+
+def _make_service(args) -> CompileService:
+    from repro.core.engines import GrapeEngine
+
+    config = PipelineConfig(policy_name=args.policy)
+    engine = None
+    if args.engine == "grape":
+        engine = GrapeEngine(config.physics, config.run.fast())
+    store = PulseStore(args.store, max_entries=args.max_entries)
+    return CompileService(
+        store,
+        config=config,
+        engine=engine,
+        backend=args.backend,
+        n_workers=args.workers,
+    )
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", required=True, help="store directory")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default="thread"
+    )
+    parser.add_argument(
+        "--engine", choices=("model", "grape"), default="model",
+        help="model = instant cost-model solves; grape = real optimizer",
+    )
+    parser.add_argument("--policy", default="map2b4l")
+    parser.add_argument(
+        "--max-entries", type=int, default=None,
+        help="bound the store (LRU eviction beyond this many entries)",
+    )
+
+
+# ------------------------------------------------------------------- serve
+def serve_loop(
+    service: CompileService,
+    stdin: IO[str],
+    stdout: IO[str],
+) -> int:
+    """Blocking request loop; returns the exit code."""
+    try:
+        return _serve_lines(service, stdin, stdout)
+    finally:
+        # Persist read-recency bumps so a bounded store's LRU order
+        # reflects this session's traffic after restart.
+        service.store.flush()
+
+
+def _serve_lines(
+    service: CompileService,
+    stdin: IO[str],
+    stdout: IO[str],
+) -> int:
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            print(encode(error_response("", str(exc))), file=stdout, flush=True)
+            continue
+        if request.is_command:
+            if request.cmd == "quit":
+                print(
+                    encode({"id": request.id, "ok": True, "bye": True}),
+                    file=stdout, flush=True,
+                )
+                return 0
+            if request.cmd == "stats":
+                print(
+                    encode(
+                        {
+                            "id": request.id,
+                            "ok": True,
+                            "store": service.store.stats.to_dict(),
+                            "entries": len(service.store),
+                            "batches": service.n_batches,
+                            "coalesced": service.coalescer.coalesced,
+                        }
+                    ),
+                    file=stdout, flush=True,
+                )
+                continue
+            print(
+                encode(error_response(request.id, f"unknown cmd {request.cmd!r}")),
+                file=stdout, flush=True,
+            )
+            continue
+        try:
+            circuit = request_circuit(request)
+            report, batch = service.handle_request(circuit)
+            print(encode(response_for(request, report, batch)), file=stdout, flush=True)
+        except Exception as exc:  # one bad request must not kill the loop
+            print(
+                encode(error_response(request.id, f"{type(exc).__name__}: {exc}")),
+                file=stdout, flush=True,
+            )
+    return 0
+
+
+def cmd_serve(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="JSON-lines compile service on stdin/stdout.",
+    )
+    _add_service_args(parser)
+    args = parser.parse_args(argv)
+    try:
+        service = _make_service(args)
+    except StoreVersionError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    return serve_loop(service, sys.stdin, sys.stdout)
+
+
+# ------------------------------------------------------------------- batch
+def collect_programs(specs: Sequence[str]) -> List[Circuit]:
+    """Named workloads, ``.qasm`` files, or directories of ``.qasm`` files."""
+    from repro.circuits.qasm import parse_qasm
+
+    programs: List[Circuit] = []
+    for spec in specs:
+        if os.path.isdir(spec):
+            names = sorted(
+                n for n in os.listdir(spec) if n.endswith(".qasm")
+            )
+            if not names:
+                raise FileNotFoundError(f"no .qasm files under {spec!r}")
+            for name in names:
+                path = os.path.join(spec, name)
+                with open(path) as handle:
+                    programs.append(
+                        parse_qasm(handle.read(), name=os.path.splitext(name)[0])
+                    )
+        elif spec.endswith(".qasm"):
+            with open(spec) as handle:
+                programs.append(
+                    parse_qasm(
+                        handle.read(),
+                        name=os.path.splitext(os.path.basename(spec))[0],
+                    )
+                )
+        else:
+            programs.append(resolve_program(spec))
+    return programs
+
+
+def batch_summary(batch: BatchReport) -> dict:
+    """The machine-readable ``repro batch --json`` payload."""
+    return {
+        "programs": [
+            {
+                "name": r.name,
+                "n_groups": r.n_groups,
+                "n_unique": r.n_unique,
+                "coverage_rate": round(r.coverage_rate, 6),
+                "overall_latency_ns": r.overall_latency,
+                "gate_based_latency_ns": r.gate_based_latency,
+                "latency_reduction": round(r.latency_reduction, 6),
+                "compile_iterations": r.compile_iterations,
+            }
+            for r in batch.requests
+        ],
+        "n_unique": batch.n_unique,
+        "n_shared": batch.n_shared,
+        "n_covered": batch.n_covered,
+        "compiled_groups": batch.n_compiled,
+        "n_trivial": batch.n_trivial,
+        "coalesced_groups": batch.n_coalesced,
+        "batch_coverage_rate": round(batch.coverage_rate, 6),
+        "total_iterations": batch.total_iterations,
+        "modelled_speedup": round(batch.modelled_speedup, 4),
+        "wall_s": round(batch.wall_time, 4),
+        "store": batch.store_stats,
+    }
+
+
+def cmd_batch(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Compile a workload list as one batch against a store.",
+    )
+    parser.add_argument(
+        "programs", nargs="+",
+        help="named workloads (qft_16, ex2, ...), .qasm files, or directories",
+    )
+    _add_service_args(parser)
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    args = parser.parse_args(argv)
+
+    try:
+        programs = collect_programs(args.programs)
+        service = _make_service(args)
+    except (ProtocolError, OSError, StoreVersionError) as exc:
+        print(f"repro batch: {exc}", file=sys.stderr)
+        return 2
+    batch = service.submit_batch(programs)
+
+    if args.as_json:
+        print(json.dumps(batch_summary(batch), sort_keys=True))
+        return 0
+
+    from repro.analysis.reporting import ascii_table
+
+    rows = [
+        [
+            r.name,
+            r.n_groups,
+            r.n_unique,
+            r.coverage_rate,
+            r.overall_latency,
+            r.latency_reduction,
+            r.compile_iterations,
+        ]
+        for r in batch.requests
+    ]
+    print(
+        ascii_table(
+            ["program", "groups", "unique", "covered", "latency ns",
+             "reduction", "iterations"],
+            rows,
+            f"repro batch — {len(programs)} programs, "
+            f"{args.workers} workers ({args.backend})",
+        )
+    )
+    stats = batch.store_stats
+    print(
+        f"  batch: {batch.n_unique} unique groups, {batch.n_shared} shared, "
+        f"{batch.n_covered} covered, {batch.n_compiled} compiled, "
+        f"{batch.n_trivial} trivial"
+    )
+    print(
+        f"  store: {stats['hits']:.0f} hits / {stats['misses']:.0f} misses "
+        f"(hit rate {stats['hit_rate']:.1%}), {stats['puts']:.0f} puts, "
+        f"{stats['evictions']:.0f} evictions"
+    )
+    print(
+        f"  modelled parallel speedup at {args.workers} workers: "
+        f"{batch.modelled_speedup:.2f}x; wall {batch.wall_time:.2f}s"
+    )
+    if batch.perf is not None:
+        print()
+        print(batch.perf.format_table())
+    return 0

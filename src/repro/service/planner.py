@@ -1,0 +1,204 @@
+"""Batch compile planner: cross-request dedup, shared MST, worker cuts.
+
+One plan covers a whole batch of circuits: every program is run through the
+shared front end, groups are de-duplicated *across* the batch
+(:func:`repro.grouping.dedup.dedupe_batch`), the store decides what is
+already covered, and the remaining unique groups get one shared similarity
+MST whose Prim sequence is cut into balanced connected parts — one per
+worker — by :func:`repro.core.partition.partition_tree` under the modelled
+iteration-cost node weights (paper Sec V-D). Virtual-diagonal groups (pure
+frame changes, zero-latency by convention) never reach a worker; they are
+listed separately and priced at zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.circuits.circuit import Circuit
+from repro.core.cache import PulseLibrary
+from repro.core.partition import (
+    TreePartition,
+    modelled_node_weights,
+    partition_tree,
+)
+from repro.core.simgraph import (
+    CompileSequence,
+    build_similarity_graph,
+    prim_compile_sequence,
+)
+from repro.grouping.dedup import BatchDedup, dedupe_batch
+from repro.grouping.group import GateGroup
+from repro.perf.instrument import PerfRecorder, recorder_or_null
+from repro.qoc.estimator import LatencyEstimator
+
+
+@dataclass
+class WorkerPlan:
+    """One worker's share of the batch: vertices in compile order."""
+
+    worker: int
+    indices: List[int]  # into BatchPlan.uncovered, MST compile order
+    weight: float  # modelled iteration cost of the part
+
+
+@dataclass
+class BatchPlan:
+    """Everything the executor and the latency assembly need for one batch."""
+
+    circuits: List[Circuit]
+    fronts: List  # FrontEndResult per program
+    groups_per_program: List[List[GateGroup]]
+    batch: BatchDedup
+    covered_keys: Set[bytes]  # already in the store at planning time
+    uncovered: List[GateGroup]  # unique, not covered, needs a solve
+    trivial: List[GateGroup]  # unique, not covered, virtual-diagonal
+    sequence: CompileSequence  # shared MST over `uncovered`
+    weights: Dict[int, float]  # modelled iterations per MST vertex
+    partition: TreePartition
+    worker_plans: List[WorkerPlan]
+    n_workers: int = 1
+
+    @property
+    def n_programs(self) -> int:
+        return len(self.circuits)
+
+    @property
+    def serial_weight(self) -> float:
+        """Modelled one-worker cost of the uncovered set."""
+        return sum(self.weights.values())
+
+    @property
+    def bottleneck(self) -> float:
+        """Heaviest single part (lower bound on any schedule's makespan)."""
+        return self.partition.bottleneck
+
+    @property
+    def makespan(self) -> float:
+        """Modelled wall cost of running the parts on ``n_workers`` workers.
+
+        The tree cut can produce more parts than workers (one part per MST
+        root at minimum), so the makespan is a longest-processing-time
+        assignment of part weights onto the pool, which is exactly how the
+        executor's pool drains the parts.
+        """
+        if not self.worker_plans:
+            return 0.0
+        loads = [0.0] * max(1, self.n_workers)
+        for part in sorted(self.worker_plans, key=lambda p: -p.weight):
+            loads[loads.index(min(loads))] += part.weight
+        return max(loads)
+
+    @property
+    def modelled_speedup(self) -> float:
+        """serial/makespan — machine-independent parallel speedup proxy."""
+        makespan = self.makespan
+        if makespan <= 0:
+            return 1.0
+        return self.serial_weight / makespan
+
+
+class CompilePlanner:
+    """Plans a batch against a pipeline front end and a pulse library.
+
+    ``pipeline`` is duck-typed: it provides ``groups_of(circuit)`` (the
+    :class:`repro.core.pipeline.AccQOC` front end) and an ``engine`` whose
+    optional ``iterations`` attribute is the cost model for partition
+    balancing (absent — e.g. a bare ``GrapeEngine`` — a unit-cost
+    :class:`~repro.core.engines.IterationModel` is used).
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        similarity: str = "fidelity1",
+        perf: Optional[PerfRecorder] = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.similarity = similarity
+        self.perf = recorder_or_null(perf)
+
+    def plan(
+        self,
+        circuits: Sequence[Circuit],
+        library: PulseLibrary,
+        n_workers: int,
+    ) -> BatchPlan:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        circuits = list(circuits)
+        fronts = []
+        groups_per_program: List[List[GateGroup]] = []
+        with self.perf.stage("plan.front_end"):
+            for circuit in circuits:
+                front, groups = self.pipeline.groups_of(circuit)
+                fronts.append(front)
+                groups_per_program.append(groups)
+        with self.perf.stage("plan.dedup"):
+            batch = dedupe_batch(groups_per_program)
+        with self.perf.stage("plan.coverage"):
+            covered_keys = {
+                g.key() for g in batch.merged.unique if g in library
+            }
+            uncovered_all = [
+                g for g in batch.merged.unique if g.key() not in covered_keys
+            ]
+        trivial = [
+            g
+            for g in uncovered_all
+            if LatencyEstimator.is_virtual_diagonal(g.matrix())
+        ]
+        uncovered = [
+            g
+            for g in uncovered_all
+            if not LatencyEstimator.is_virtual_diagonal(g.matrix())
+        ]
+        sequence, weights, partition = self._cut(uncovered, n_workers)
+        worker_plans = [
+            WorkerPlan(worker=w, indices=list(part), weight=weight)
+            for w, (part, weight) in enumerate(
+                zip(partition.parts, partition.part_weights)
+            )
+        ]
+        self.perf.count("plan.programs", len(circuits))
+        self.perf.count("plan.unique", batch.merged.n_unique)
+        self.perf.count("plan.uncovered", len(uncovered))
+        self.perf.count("plan.shared", batch.n_shared)
+        return BatchPlan(
+            circuits=circuits,
+            fronts=fronts,
+            groups_per_program=groups_per_program,
+            batch=batch,
+            covered_keys=covered_keys,
+            uncovered=uncovered,
+            trivial=trivial,
+            sequence=sequence,
+            weights=weights,
+            partition=partition,
+            worker_plans=worker_plans,
+            n_workers=n_workers,
+        )
+
+    # ----------------------------------------------------------------- impl
+    def _iteration_model(self):
+        model = getattr(self.pipeline.engine, "iterations", None)
+        if model is not None:
+            return model
+        from repro.core.engines import IterationModel
+
+        return IterationModel()
+
+    def _cut(self, uncovered: Sequence[GateGroup], n_workers: int):
+        if not uncovered:
+            empty = CompileSequence(order=[], parent={}, parent_weight={}, total_weight=0.0)
+            return empty, {}, TreePartition(parts=[], part_weights=[], bottleneck=0.0)
+        with self.perf.stage("plan.simgraph"):
+            graph = build_similarity_graph(list(uncovered), self.similarity)
+            sequence = prim_compile_sequence(graph)
+        with self.perf.stage("plan.partition"):
+            weights = modelled_node_weights(
+                sequence, list(uncovered), self._iteration_model()
+            )
+            partition = partition_tree(sequence, weights, n_workers)
+        return sequence, weights, partition

@@ -1,0 +1,119 @@
+"""JSON-lines request/response protocol for ``repro serve``.
+
+One JSON object per line. Requests name a program or carry inline QASM::
+
+    {"id": "r1", "name": "qft_10"}
+    {"id": "r2", "qasm": "OPENQASM 2.0; ...", "program": "mine"}
+    {"cmd": "stats"}      # store + service counters
+    {"cmd": "quit"}       # drain and exit
+
+Responses echo the request id and report coverage, latency, and timing::
+
+    {"id": "r1", "ok": true, "program": "qft_10", "coverage_rate": 0.91, ...}
+    {"id": "r2", "ok": false, "error": "..."}
+
+Program names resolve against the named benchmark suite plus the ``qft_<n>``
+family (any size); everything else must ship QASM inline.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.qasm import parse_qasm
+from repro.workloads.qft import qft
+from repro.workloads.revlib_like import NAMED_BENCHMARKS, build_named
+
+_QFT_RE = re.compile(r"^qft_(\d+)$")
+
+
+class ProtocolError(ValueError):
+    """Malformed request line."""
+
+
+@dataclass
+class CompileRequest:
+    """One parsed request line."""
+
+    id: str
+    name: Optional[str] = None
+    qasm: Optional[str] = None
+    cmd: Optional[str] = None
+
+    @property
+    def is_command(self) -> bool:
+        return self.cmd is not None
+
+
+def resolve_program(name: str) -> Circuit:
+    """Named workload: the benchmark suite plus ``qft_<n>`` of any size."""
+    if name in NAMED_BENCHMARKS:
+        return build_named(name)
+    match = _QFT_RE.match(name)
+    if match:
+        return qft(int(match.group(1)), name=name)
+    raise ProtocolError(
+        f"unknown program {name!r}; named programs are "
+        f"{sorted(NAMED_BENCHMARKS)} or qft_<n>"
+    )
+
+
+def parse_request(line: str) -> CompileRequest:
+    try:
+        raw = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ProtocolError("request must be a JSON object")
+    if "cmd" in raw:
+        return CompileRequest(id=str(raw.get("id", "")), cmd=str(raw["cmd"]))
+    request = CompileRequest(
+        id=str(raw.get("id", "")),
+        name=raw.get("name"),
+        qasm=raw.get("qasm"),
+    )
+    if request.name is None and request.qasm is None:
+        raise ProtocolError("request needs 'name' or 'qasm' (or 'cmd')")
+    return request
+
+
+def request_circuit(request: CompileRequest) -> Circuit:
+    if request.qasm is not None:
+        return parse_qasm(request.qasm, name=request.name or request.id or "qasm")
+    return resolve_program(request.name)
+
+
+def response_for(request: CompileRequest, report, batch) -> Dict:
+    """Success response from a RequestReport + its BatchReport."""
+    stages = {}
+    if batch.perf is not None:
+        stages = {s.name: round(s.total_s, 6) for s in batch.perf.stages}
+    return {
+        "id": request.id,
+        "ok": True,
+        "program": report.name,
+        "n_groups": report.n_groups,
+        "n_unique": report.n_unique,
+        "coverage_rate": round(report.coverage_rate, 6),
+        "overall_latency_ns": report.overall_latency,
+        "gate_based_latency_ns": report.gate_based_latency,
+        "latency_reduction": round(report.latency_reduction, 6),
+        "compile_iterations": report.compile_iterations,
+        "compiled_groups": batch.n_compiled,
+        "coalesced_groups": batch.n_coalesced,
+        "wall_ms": round(batch.wall_time * 1e3, 3),
+        "store": batch.store_stats,
+        "stages": stages,
+    }
+
+
+def error_response(request_id: str, message: str) -> Dict:
+    return {"id": request_id, "ok": False, "error": message}
+
+
+def encode(payload: Dict) -> str:
+    return json.dumps(payload, sort_keys=True)

@@ -1,0 +1,345 @@
+"""The batch compilation service façade.
+
+``CompileService`` ties the pieces together: the :class:`AccQOC` front end
+(mapping + grouping, shared with the one-shot pipeline), the
+:class:`CompilePlanner` (batch-wide dedup + shared MST + worker cuts), the
+:class:`WorkerPoolExecutor` (serial / thread / process), the
+:class:`GroupCoalescer` (concurrent batches compile a key once), and the
+:class:`PulseStore` (every solve is persisted before the batch returns, so
+the next request — or the next process — starts warm).
+
+One ``submit_batch`` call is the unit of work: plan, claim keys, solve the
+owned ones on the pool, persist, price every program with
+:func:`repro.core.pipeline.program_latencies`, and return a
+:class:`BatchReport` whose ``perf`` carries the full stage breakdown
+(planning, per-worker solve time, store I/O) in ``repro perf`` format.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.core.cache import LibraryEntry
+from repro.core.engines import CompileRecord, compile_with_engine
+from repro.core.pipeline import AccQOC, program_latencies
+from repro.grouping.group import GateGroup
+from repro.perf.instrument import PerfRecorder
+from repro.perf.report import PerfReport
+from repro.service.executor import (
+    GroupCoalescer,
+    WorkerPoolExecutor,
+    seed_tag_for,
+)
+from repro.service.planner import BatchPlan, CompilePlanner
+from repro.service.store import PulseStore
+from repro.utils.config import PipelineConfig
+
+
+@dataclass
+class RequestReport:
+    """Per-program outcome: what a serve-loop response is built from."""
+
+    name: str
+    n_groups: int
+    n_unique: int
+    coverage_rate: float  # store coverage at batch start
+    overall_latency: float  # ns, Algorithm 3 over the group DAG
+    gate_based_latency: float  # ns, gate-by-gate baseline
+    compile_iterations: int  # iterations charged to this request's groups
+
+    @property
+    def latency_reduction(self) -> float:
+        if self.overall_latency <= 0:
+            return float("inf")
+        return self.gate_based_latency / self.overall_latency
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one ``submit_batch`` call."""
+
+    requests: List[RequestReport]
+    n_unique: int  # distinct groups across the batch
+    n_shared: int  # unique groups referenced by >1 program
+    n_covered: int  # served straight from the store
+    n_compiled: int  # solved by this batch's workers
+    n_trivial: int  # virtual-diagonal, priced at zero
+    n_coalesced: int  # served by another in-flight batch
+    total_iterations: int
+    modelled_speedup: float  # serial weight / LPT makespan on the pool
+    wall_time: float
+    store_stats: Dict[str, float]
+    perf: Optional[PerfReport] = None
+
+    @property
+    def coverage_rate(self) -> float:
+        if self.n_unique == 0:
+            return 1.0
+        return self.n_covered / self.n_unique
+
+
+def engine_fingerprint(engine) -> str:
+    """Identity of the results an engine produces (stamped on the store).
+
+    Stored latencies/pulses are only valid for the engine and budget that
+    produced them — a model-engine store must not silently serve a GRAPE
+    client (and vice versa). Covers the engine kind, the physics that sets
+    slice length and drive bounds, and (for real optimizers) the run budget
+    and seed that make solves reproducible.
+    """
+    parts = [getattr(engine, "name", type(engine).__name__)]
+    physics = getattr(engine, "physics", None)
+    if physics is not None:
+        parts.append(f"dt={physics.dt:g}")
+        parts.append(f"drive={physics.drive_max:.6g}")
+        parts.append(f"coupling={physics.coupling_max:.6g}")
+    run = getattr(engine, "run", None)
+    if run is not None:  # GrapeEngine-shaped: solves depend on the budget
+        parts.append(f"tol={run.target_infidelity:g}")
+        parts.append(f"iters={run.max_iterations}")
+        parts.append(f"probes={run.binary_search_max_probes}")
+        parts.append(f"seed={run.seed}")
+    return ";".join(parts)
+
+
+class CompileService:
+    """Long-lived batch compilation service over a persistent pulse store."""
+
+    def __init__(
+        self,
+        store: PulseStore,
+        config: Optional[PipelineConfig] = None,
+        engine=None,
+        backend="thread",
+        n_workers: Optional[int] = None,
+        warm: str = "store",
+    ) -> None:
+        self.store = store
+        self.config = config or PipelineConfig()
+        self.pipeline = AccQOC(self.config, engine=engine)
+        self.engine = self.pipeline.engine
+        # Refuse a store populated under a different engine/run identity.
+        self.store.claim_fingerprint(engine_fingerprint(self.engine))
+        self.n_workers = n_workers if n_workers is not None else self.config.n_workers
+        self.backend = backend
+        self.warm = warm
+        self.coalescer = GroupCoalescer()
+        self.n_batches = 0
+
+    # ------------------------------------------------------------- requests
+    def handle_request(self, circuit: Circuit) -> Tuple[RequestReport, BatchReport]:
+        """One-program convenience wrapper around :meth:`submit_batch`."""
+        batch = self.submit_batch([circuit])
+        return batch.requests[0], batch
+
+    def submit_batch(self, circuits: Sequence[Circuit]) -> BatchReport:
+        start = time.monotonic()
+        perf = PerfRecorder()
+        snapshot = self.store.snapshot()
+        planner = CompilePlanner(
+            self.pipeline, similarity=self.config.similarity, perf=perf
+        )
+        with perf.stage("service.plan"):
+            plan = planner.plan(circuits, snapshot, self.n_workers)
+
+        records, trivial_records, outcome = self._execute(plan, snapshot, perf)
+
+        with perf.stage("service.latency"):
+            latencies = self._latency_table(
+                plan, snapshot, records, trivial_records
+            )
+            iteration_of = {
+                plan.uncovered[i].key(): r.iterations
+                for i, r in enumerate(records)
+            }
+            requests = [
+                self._request_report(plan, p, latencies, iteration_of)
+                for p in range(plan.n_programs)
+            ]
+        self.n_batches += 1
+        return BatchReport(
+            requests=requests,
+            n_unique=plan.batch.merged.n_unique,
+            n_shared=plan.batch.n_shared,
+            n_covered=len(plan.covered_keys),
+            n_compiled=outcome["compiled"],
+            n_trivial=len(plan.trivial),
+            n_coalesced=outcome["coalesced"],
+            total_iterations=sum(r.iterations for r in records),
+            modelled_speedup=plan.modelled_speedup,
+            wall_time=time.monotonic() - start,
+            store_stats=self.store.stats.to_dict(),
+            perf=perf.report(f"batch#{self.n_batches}"),
+        )
+
+    # ----------------------------------------------------------------- impl
+    def _execute(
+        self, plan: BatchPlan, snapshot, perf: PerfRecorder
+    ) -> Tuple[List[CompileRecord], List[CompileRecord], Dict[str, int]]:
+        """Solve uncovered + trivial groups with claim/salvage semantics.
+
+        Every key is claimed in the coalescer first. A claim can still be
+        *salvaged* from the live store: another batch may have persisted the
+        key between this batch's snapshot and its claim — without the
+        re-check that window would compile (and pay for) the group twice.
+        """
+        owned: List[int] = []
+        salvaged: Dict[int, CompileRecord] = {}
+        waiting: Dict[int, "Future"] = {}
+        for vertex, group in enumerate(plan.uncovered):
+            kind, payload = self._claim(group)
+            if kind == "owned":
+                owned.append(vertex)
+            elif kind == "salvaged":
+                salvaged[vertex] = payload
+            else:
+                waiting[vertex] = payload
+        resolved: set = set()
+        try:
+            # Constructed inside the protected region: an invalid backend or
+            # warm spec must fail the claims too, not strand them.
+            executor = WorkerPoolExecutor(
+                self.engine,
+                backend=self.backend,
+                n_workers=self.n_workers,
+                similarity=self.config.similarity,
+                warm=self.warm,
+                perf=perf,
+            )
+            with perf.stage("service.execute"):
+                records = executor.run_indices(plan, snapshot, owned)
+            with perf.stage("service.store"):
+                for vertex in owned:
+                    self._persist(plan.uncovered[vertex], records[vertex])
+                    resolved.add(vertex)
+            trivial_records = self._compile_trivial(plan, perf)
+            with perf.stage("service.store"):
+                self.store.flush()  # one manifest rewrite per batch
+        except BaseException as error:
+            # Never strand a claim: every owned key that was not resolved
+            # must fail, or each batch waiting on it deadlocks forever.
+            for vertex in owned:
+                if vertex not in resolved:
+                    self.coalescer.fail(plan.uncovered[vertex].key(), error)
+            raise
+        for vertex, record in salvaged.items():
+            records[vertex] = record
+        for vertex, future in waiting.items():
+            records[vertex] = future.result()
+        perf.count("service.coalesced", len(waiting))
+        return (
+            records,
+            trivial_records,
+            {"compiled": len(owned), "coalesced": len(waiting)},
+        )
+
+    def _claim(self, group: GateGroup):
+        """('owned'|'salvaged'|'waiting', record/future) for one group."""
+        is_owner, future = self.coalescer.claim(group.key())
+        if not is_owner:
+            return "waiting", future
+        entry = self.store.get(group)  # live re-check, counts a hit/miss
+        if entry is None:
+            return "owned", None
+        record = CompileRecord(
+            latency=entry.latency,
+            iterations=entry.iterations,
+            converged=entry.converged,
+            pulse=entry.pulse,
+        )
+        self.coalescer.resolve(group.key(), record)
+        return "salvaged", record
+
+    def _persist(self, group: GateGroup, record: CompileRecord) -> None:
+        # flush=False: the entry file is durable now, the manifest rewrite
+        # is paid once per batch (submit_batch flushes before returning).
+        self.store.put(
+            LibraryEntry(
+                group=group,
+                pulse=record.pulse,
+                latency=record.latency,
+                iterations=record.iterations,
+                converged=record.converged,
+            ),
+            flush=False,
+        )
+        self.coalescer.resolve(group.key(), record)
+
+    def _compile_trivial(
+        self, plan: BatchPlan, perf: PerfRecorder
+    ) -> List[CompileRecord]:
+        """Virtual-diagonal groups: instant solves, same claim semantics."""
+        trivial_records: List[CompileRecord] = []
+        with perf.stage("service.store"):
+            for group in plan.trivial:
+                kind, payload = self._claim(group)
+                if kind == "owned":
+                    try:
+                        record = compile_with_engine(
+                            self.engine, group, seed_tag=seed_tag_for(group)
+                        )
+                        self._persist(group, record)
+                    except BaseException as error:
+                        self.coalescer.fail(group.key(), error)
+                        raise
+                elif kind == "salvaged":
+                    record = payload
+                else:
+                    record = payload.result()
+                trivial_records.append(record)
+        return trivial_records
+
+    def _latency_table(
+        self,
+        plan: BatchPlan,
+        snapshot,
+        records: Sequence[CompileRecord],
+        trivial_records: Sequence[CompileRecord],
+    ) -> Dict[bytes, float]:
+        latencies: Dict[bytes, float] = {}
+        for key in plan.covered_keys:
+            entry = self.store.get_key(key)
+            if entry is None:
+                # A bounded store can have LRU-evicted a covered key while
+                # this batch was putting; the planning snapshot still has it.
+                entry = snapshot.lookup_key(key)
+            latencies[key] = entry.latency
+        for group, record in zip(plan.trivial, trivial_records):
+            latencies[group.key()] = record.latency
+        for vertex, group in enumerate(plan.uncovered):
+            latencies[group.key()] = records[vertex].latency
+        return latencies
+
+    def _request_report(
+        self,
+        plan: BatchPlan,
+        program: int,
+        latencies: Dict[bytes, float],
+        iteration_of: Dict[bytes, int],
+    ) -> RequestReport:
+        groups = plan.groups_per_program[program]
+        dedup = plan.batch.per_program[program]
+        overall, gate_based = program_latencies(
+            plan.fronts[program], groups, latencies, self.engine
+        )
+        covered = sum(
+            1 for g in groups if g.key() in plan.covered_keys
+        )
+        # Iterations charged to this request: every uncovered unique group it
+        # references (a shared group shows up in each referencing request).
+        iterations = sum(
+            iteration_of.get(key, 0) for key in dedup.index_of
+        )
+        circuit = plan.circuits[program]
+        return RequestReport(
+            name=circuit.name or "<unnamed>",
+            n_groups=len(groups),
+            n_unique=dedup.n_unique,
+            coverage_rate=covered / len(groups) if groups else 1.0,
+            overall_latency=overall,
+            gate_based_latency=gate_based,
+            compile_iterations=iterations,
+        )

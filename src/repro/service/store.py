@@ -1,0 +1,406 @@
+"""Persistent pulse store: disk-backed, content-addressed, crash-safe.
+
+Layout (all JSON, one directory per store)::
+
+    <root>/
+      manifest.json          # {"version": 1, "entries": {<keyhex>: meta}}
+      entries/<keyhex>.json  # one LibraryEntry per file (entry_to_dict)
+
+Entries are addressed by the canonical group key (matrix modulo global phase
+and wire permutation), so the store inherits every :class:`PulseLibrary`
+semantics — a stored pulse serves wire-permuted occurrences too. Writes are
+atomic (temp file + ``os.replace`` in the same directory), and the manifest
+is rewritten atomically after every mutation, so a crash mid-``put`` leaves
+either the previous manifest (orphan entry file, harmless) or the new one
+(entry file already durable). The manifest is versioned; loading a store
+written by an incompatible layout raises :class:`StoreVersionError`.
+
+The store keeps the full library in memory (entries are small), counts
+hits/misses/puts/evictions in :class:`StoreStats`, and optionally bounds the
+entry count with least-recently-used eviction. Recency (last ``get``/``put``
+of the key) is bumped in memory and persisted at the next ``flush`` — every
+``put(flush=True)`` and every service batch flushes, and ``repro serve``
+flushes on exit, so LRU order survives restarts for any writer; a purely
+read-only session that never flushes keeps its recency bumps to itself.
+
+A manifest may carry an *engine fingerprint*: pulse latencies and waveforms
+are only meaningful for the engine/run configuration that produced them, so
+:meth:`PulseStore.claim_fingerprint` stamps the first writer's identity and
+refuses a mismatching one (``StoreVersionError``) instead of silently
+serving, say, modelled latencies to a GRAPE client.
+
+Multiple live writers on one directory are supported in the append-only
+sense: ``flush`` merges with the manifest on disk (foreign rows it does not
+know are carried over verbatim) under an exclusive ``flock`` on
+``<root>/.lock``, so concurrent processes cannot lose each other's
+completed puts. ``max_entries`` eviction is per-writer advisory — an
+eviction can be resurrected by a concurrent writer's flush. (On platforms
+without ``fcntl`` the lock degrades to best-effort, i.e. single-writer.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: degrade to best-effort single-writer
+    fcntl = None
+
+from repro.core.cache import (
+    CoverageReport,
+    LibraryEntry,
+    PulseLibrary,
+    entry_from_dict,
+    entry_to_dict,
+)
+from repro.grouping.group import GateGroup
+from repro.perf.instrument import PerfRecorder, recorder_or_null
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+ENTRIES_DIR = "entries"
+
+
+class StoreVersionError(RuntimeError):
+    """Manifest written by an incompatible store layout."""
+
+
+def key_digest(key: bytes) -> str:
+    """Stable short address of a canonical group key.
+
+    The canonical key is the full matrix byte string (hundreds of bytes), so
+    files and manifest entries are addressed by its SHA-256 instead. The full
+    key is recovered from the entry's gates on load.
+    """
+    return hashlib.sha256(key).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Cumulative counters for one store instance (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _atomic_write_json(path: str, payload: Dict) -> None:
+    """Write JSON durably: temp file in the target directory + rename."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+class PulseStore:
+    """Disk-backed :class:`PulseLibrary` with stats and bounded size.
+
+    The in-memory library is the source of truth between ``put`` calls; disk
+    is updated synchronously on every mutation (entry file first, manifest
+    second), so two processes pointing at the same directory see each other's
+    completed puts on (re)load but never a torn file.
+
+    All public methods are thread-safe (one reentrant lock): concurrent
+    batches share a service's store and put/flush/snapshot from different
+    threads.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        max_entries: Optional[int] = None,
+        perf: Optional[PerfRecorder] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.root = str(root)
+        self.max_entries = max_entries
+        self.stats = StoreStats()
+        self.perf = recorder_or_null(perf)
+        self._lock = threading.RLock()
+        self._library = PulseLibrary()
+        self._recency: Dict[bytes, int] = {}  # key -> logical clock of last use
+        self._clock = 0
+        self._fingerprint: Optional[str] = None  # engine identity stamp
+        self._tombstones: set = set()  # digests this writer evicted
+        self._disk_lock_depth = 0  # reentrancy for the cross-process flock
+        self._disk_fd = -1
+        os.makedirs(os.path.join(self.root, ENTRIES_DIR), exist_ok=True)
+        self._load_manifest()
+
+    @contextmanager
+    def _disk_lock(self):
+        """Exclusive cross-process lock over this store directory.
+
+        Serializes the manifest's read-merge-write and entry file
+        create/unlink against other processes — without it two concurrent
+        flushes are a lost-update race. Reentrant per store instance; the
+        callers all hold ``self._lock``, which makes the depth counter safe.
+        """
+        if fcntl is None:
+            yield
+            return
+        if self._disk_lock_depth == 0:
+            self._disk_fd = os.open(
+                os.path.join(self.root, ".lock"), os.O_CREAT | os.O_RDWR
+            )
+            fcntl.flock(self._disk_fd, fcntl.LOCK_EX)
+        self._disk_lock_depth += 1
+        try:
+            yield
+        finally:
+            self._disk_lock_depth -= 1
+            if self._disk_lock_depth == 0:
+                fcntl.flock(self._disk_fd, fcntl.LOCK_UN)
+                os.close(self._disk_fd)
+                self._disk_fd = -1
+
+    # ----------------------------------------------------------------- disk
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def _entry_path(self, key: bytes) -> str:
+        return os.path.join(self.root, ENTRIES_DIR, f"{key_digest(key)}.json")
+
+    def _load_manifest(self) -> None:
+        if not os.path.exists(self.manifest_path):
+            return
+        with self.perf.stage("store.read"):
+            try:
+                with open(self.manifest_path) as handle:
+                    manifest = json.load(handle)
+                if not isinstance(manifest, dict):
+                    raise ValueError("manifest is not an object")
+            except ValueError:
+                # Truncated/corrupt manifest: the entry files are the
+                # durable source of truth — rebuild the index from them.
+                self._recover_from_entries()
+                return
+            version = manifest.get("version")
+            if version != MANIFEST_VERSION:
+                raise StoreVersionError(
+                    f"store at {self.root!r} has manifest version {version!r}; "
+                    f"this build reads version {MANIFEST_VERSION}"
+                )
+            self._fingerprint = manifest.get("fingerprint")
+            for digest, meta in manifest.get("entries", {}).items():
+                path = os.path.join(self.root, ENTRIES_DIR, f"{digest}.json")
+                entry = self._read_entry(path, digest)
+                if entry is None:
+                    continue  # torn put or corrupt/foreign file
+                key = entry.group.key()
+                self._library.add(entry)
+                self._recency[key] = int(meta.get("recency", 0))
+        if self._recency:
+            self._clock = max(self._recency.values())
+
+    def _read_entry(self, path: str, digest: str) -> Optional[LibraryEntry]:
+        """One entry file, digest-verified; ``None`` when missing/corrupt."""
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as handle:
+                entry = entry_from_dict(json.load(handle))
+        except (ValueError, KeyError, TypeError):
+            return None
+        if key_digest(entry.group.key()) != digest:
+            return None
+        return entry
+
+    def _recover_from_entries(self) -> None:
+        """Rebuild the manifest by scanning ``entries/`` (corrupt manifest).
+
+        Recency and the engine fingerprint are lost — the next service
+        claim re-stamps the fingerprint, and LRU order restarts from zero.
+        """
+        entries_dir = os.path.join(self.root, ENTRIES_DIR)
+        for name in sorted(os.listdir(entries_dir)):
+            if not name.endswith(".json"):
+                continue
+            digest = name[: -len(".json")]
+            entry = self._read_entry(os.path.join(entries_dir, name), digest)
+            if entry is None:
+                continue
+            self._library.add(entry)
+        self.flush()
+
+    def flush(self) -> None:
+        """Rewrite the manifest from in-memory state, merged with disk.
+
+        Rows on disk for digests this writer does not know (a concurrent
+        process's puts) are carried over verbatim — their entry files are
+        already durable, so the union is always loadable. Atomic rewrite.
+        """
+        with self._lock, self._disk_lock():
+            entries: Dict[str, Dict] = {}
+            if os.path.exists(self.manifest_path):
+                try:
+                    with open(self.manifest_path) as handle:
+                        on_disk = json.load(handle)
+                    if on_disk.get("version") == MANIFEST_VERSION:
+                        entries.update(on_disk.get("entries", {}))
+                except (OSError, ValueError):
+                    pass  # a torn/corrupt manifest is rebuilt from memory
+            for key in list(self._library.keys()):
+                entry = self._library.lookup_key(key)
+                entries[key_digest(key)] = {
+                    "latency": entry.latency,
+                    "iterations": entry.iterations,
+                    "converged": entry.converged,
+                    "n_qubits": entry.group.n_qubits,
+                    "recency": self._recency.get(key, 0),
+                }
+            for digest in self._tombstones:
+                entries.pop(digest, None)
+            payload = {"version": MANIFEST_VERSION, "entries": entries}
+            if self._fingerprint is not None:
+                payload["fingerprint"] = self._fingerprint
+            with self.perf.stage("store.write"):
+                _atomic_write_json(self.manifest_path, payload)
+            # A tombstone is spent once recorded: keeping it would delete a
+            # concurrent writer's later re-put of the same key on the next
+            # merge, losing their completed work.
+            self._tombstones.clear()
+
+    def claim_fingerprint(self, fingerprint: str) -> None:
+        """Stamp (or validate) the engine identity this store serves.
+
+        The first claimant writes the stamp; a later claimant with a
+        different fingerprint is refused — its latencies/pulses would be
+        silently wrong for the engine that populated the store.
+        """
+        with self._lock:
+            if self._fingerprint is None:
+                self._fingerprint = str(fingerprint)
+                self.flush()
+                return
+            if self._fingerprint != str(fingerprint):
+                raise StoreVersionError(
+                    f"store at {self.root!r} was populated under engine "
+                    f"fingerprint {self._fingerprint!r}; refusing "
+                    f"{fingerprint!r} — use a separate store directory "
+                    f"per engine/run configuration"
+                )
+
+    # ------------------------------------------------------------------ api
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._library)
+
+    def __contains__(self, group: GateGroup) -> bool:
+        with self._lock:
+            return group in self._library
+
+    def keys(self) -> List[bytes]:
+        with self._lock:
+            return list(self._library.keys())
+
+    def library(self) -> PulseLibrary:
+        """The live in-memory library view (shared, do not mutate)."""
+        return self._library
+
+    def snapshot(self) -> PulseLibrary:
+        """An independent library copy (a batch's frozen warm-seed source)."""
+        with self._lock:
+            copy = PulseLibrary()
+            copy.merge(self._library)
+            return copy
+
+    def get(self, group: GateGroup) -> Optional[LibraryEntry]:
+        """Entry for ``group`` (hit/miss counted, recency bumped)."""
+        return self.get_key(group.key())
+
+    def get_key(self, key: bytes) -> Optional[LibraryEntry]:
+        """Entry by raw canonical key (same stats accounting as ``get``)."""
+        with self._lock:
+            entry = self._library.lookup_key(key)
+            if entry is None:
+                self.stats.misses += 1
+                self.perf.count("store.misses")
+                return None
+            self.stats.hits += 1
+            self.perf.count("store.hits")
+            self._touch(key)
+            return entry
+
+    def put(self, entry: LibraryEntry, flush: bool = True) -> None:
+        """Persist one entry (atomic entry file, then manifest), maybe evict.
+
+        ``flush=False`` defers the manifest rewrite — the entry file is
+        still durable immediately, but the entry only becomes visible to a
+        future (re)load after the next :meth:`flush`. Batch writers use this
+        to pay one manifest rewrite per batch instead of one per entry; the
+        recovery semantics are unchanged (an unflushed entry file is the
+        same harmless orphan a crash mid-``put`` leaves).
+        """
+        key = entry.group.key()
+        with self._lock, self._disk_lock():
+            with self.perf.stage("store.write"):
+                _atomic_write_json(self._entry_path(key), entry_to_dict(entry))
+            self._library.add(entry)
+            self._tombstones.discard(key_digest(key))
+            self._touch(key)
+            self.stats.puts += 1
+            self.perf.count("store.puts")
+            if self.max_entries is not None:
+                while len(self._library) > self.max_entries:
+                    self._evict_lru(protect=key)
+            if flush:
+                self.flush()
+
+    def coverage(self, groups: Sequence[GateGroup]) -> CoverageReport:
+        """Library coverage (no hit/miss accounting: this is planning)."""
+        with self._lock:
+            return self._library.coverage(groups)
+
+    # ----------------------------------------------------------------- impl
+    def _touch(self, key: bytes) -> None:
+        self._clock += 1
+        self._recency[key] = self._clock
+
+    def _evict_lru(self, protect: bytes) -> None:
+        victims = [k for k in self._library.keys() if k != protect]
+        if not victims:
+            return
+        victim = min(victims, key=lambda k: self._recency.get(k, 0))
+        self._library.remove(victim)
+        self._recency.pop(victim, None)
+        self._tombstones.add(key_digest(victim))
+        path = self._entry_path(victim)
+        if os.path.exists(path):
+            os.unlink(path)
+        self.stats.evictions += 1
+        self.perf.count("store.evictions")

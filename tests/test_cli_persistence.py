@@ -61,11 +61,80 @@ def test_library_roundtrip_pulseless():
     assert again.lookup(group).pulse is None
 
 
+def test_library_roundtrip_empty(tmp_path):
+    """An empty library saves and loads as an empty library."""
+    path = tmp_path / "empty.json"
+    PulseLibrary().save(str(path))
+    again = PulseLibrary.load(str(path))
+    assert len(again) == 0
+    assert again.entries() == []
+    assert again.coverage([]).rate == 1.0
+
+
+def test_library_roundtrip_nonconverged(tmp_path):
+    """Non-converged entries keep their flag (and pulse) across the disk."""
+    lib = PulseLibrary()
+    group = GateGroup(gates=[Gate("cx", (0, 1)), Gate("rz", (0,), (1.1,))])
+    pulse = Pulse(
+        np.linspace(-0.02, 0.02, 30).reshape(6, 5),
+        dt=2.0,
+        control_labels=["X0", "Y0", "X1", "Y1", "XX01"],
+        n_qubits=2,
+        infidelity=0.37,
+    )
+    lib.add(
+        LibraryEntry(
+            group=group, pulse=pulse, latency=18.0, iterations=120,
+            converged=False,
+        )
+    )
+    path = tmp_path / "lib.json"
+    lib.save(str(path))
+    entry = PulseLibrary.load(str(path)).lookup(group)
+    assert entry is not None
+    assert entry.converged is False
+    assert entry.pulse.infidelity == pytest.approx(0.37)
+    assert np.array_equal(entry.pulse.amplitudes, pulse.amplitudes)
+
+
+def test_library_roundtrip_wire_permuted_lookup(tmp_path):
+    """A reloaded library still serves wire-permuted occurrences: the lookup
+    hits via the canonical key and the pulse comes back relabelled."""
+    lib = PulseLibrary()
+    stored = GateGroup(gates=[Gate("cx", (0, 1)), Gate("rz", (1,), (0.8,))])
+    rng = np.random.default_rng(11)
+    pulse = Pulse(
+        rng.uniform(-0.05, 0.05, size=(8, 5)),
+        dt=2.0,
+        control_labels=["X0", "Y0", "X1", "Y1", "XX01"],
+        n_qubits=2,
+    )
+    lib.add(LibraryEntry(group=stored, pulse=pulse, latency=30.0, iterations=9))
+    path = tmp_path / "lib.json"
+    lib.save(str(path))
+    again = PulseLibrary.load(str(path))
+
+    permuted = GateGroup(gates=[Gate("cx", (1, 0)), Gate("rz", (0,), (0.8,))])
+    assert permuted.key() == stored.key()
+    assert not np.allclose(permuted.matrix(), stored.matrix())
+    assert permuted in again
+    got = again.pulse_for(permuted)
+    assert got is not None
+    # relabelling swaps the per-qubit drive columns and matches the live lib
+    live = lib.pulse_for(permuted)
+    assert np.array_equal(got.amplitudes, live.amplitudes)
+    assert got.control_labels == live.control_labels
+    # the same-wire-order query still returns the untouched waveform
+    assert np.array_equal(
+        again.pulse_for(stored).amplitudes, pulse.amplitudes
+    )
+
+
 # ---------------------------------------------------------------------- CLI
 def test_cli_list(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
-    for name in ("fig8", "fig15", "table2"):
+    for name in ("fig8", "fig15", "table2", "perf", "serve", "batch"):
         assert name in out
 
 

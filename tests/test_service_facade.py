@@ -1,0 +1,340 @@
+"""CompileService end to end: sharing, warm store, coalescing, front door."""
+
+import io
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.engines import GrapeEngine
+from repro.service import CompileService, PulseStore
+from repro.service.frontdoor import cmd_batch, collect_programs, serve_loop
+from repro.service.protocol import (
+    ProtocolError,
+    parse_request,
+    request_circuit,
+    resolve_program,
+)
+from repro.utils.config import PipelineConfig
+from repro.workloads import build_named, qft
+
+
+def _service(tmp_path, name="s", **kwargs):
+    store = PulseStore(str(tmp_path / name))
+    kwargs.setdefault("backend", "serial")
+    kwargs.setdefault("n_workers", 2)
+    return CompileService(store, PipelineConfig(policy_name="map2b4l"), **kwargs)
+
+
+def test_shared_groups_compile_once(tmp_path):
+    """Acceptance: a two-circuit batch sharing groups compiles each shared
+    group exactly once — store puts equal the batch's unique group count."""
+    service = _service(tmp_path)
+    batch = service.submit_batch([qft(5), qft(6)])
+    assert batch.n_shared > 0
+    stats = service.store.stats
+    assert stats.puts == batch.n_unique  # one store write per unique group
+    assert batch.n_compiled + batch.n_trivial == batch.n_unique
+    # every request was fully priced
+    for request in batch.requests:
+        assert request.overall_latency > 0
+        assert request.latency_reduction > 1
+
+
+def test_warm_store_compiles_nothing(tmp_path):
+    """Acceptance: re-running the same batch against a warm on-disk store
+    performs zero solves, even from a brand-new service process."""
+    programs = [build_named("4gt4-v0"), qft(5)]
+    service = _service(tmp_path)
+    cold = service.submit_batch(programs)
+    assert cold.n_compiled > 0
+
+    warm_service = _service(tmp_path)  # same directory, fresh instance
+    warm = warm_service.submit_batch(programs)
+    assert warm.n_compiled == 0
+    assert warm.n_trivial == 0
+    assert warm.coverage_rate == 1.0
+    assert warm_service.store.stats.puts == 0
+    assert warm_service.store.stats.hits > 0
+    # identical pricing on both runs
+    for a, b in zip(cold.requests, warm.requests):
+        assert a.overall_latency == b.overall_latency
+        assert a.gate_based_latency == b.gate_based_latency
+
+
+def test_warm_store_zero_grape_solves(tmp_path):
+    """Same acceptance with the real optimizer: the second service run does
+    not invoke GRAPE at all (counted via the engine's compile calls)."""
+
+    class CountingGrape(GrapeEngine):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.solves = 0
+
+        def compile_group(self, *args, **kwargs):
+            self.solves += 1
+            return super().compile_group(*args, **kwargs)
+
+    config = PipelineConfig(policy_name="map2b4l")
+    program = build_named("4gt4-v0")
+    cold_engine = CountingGrape(config.physics, config.run.fast())
+    service = _service(tmp_path, engine=cold_engine)
+    service.submit_batch([program])
+    assert cold_engine.solves > 0
+
+    warm_engine = CountingGrape(config.physics, config.run.fast())
+    warm = _service(tmp_path, engine=warm_engine)
+    report = warm.submit_batch([program])
+    assert warm_engine.solves == 0
+    assert report.n_compiled == 0
+
+
+def test_cross_program_reuse(tmp_path):
+    """A program never seen before is served from pulses of a superset
+    program — the store is keyed by group content, not by program."""
+    service = _service(tmp_path)
+    service.submit_batch([qft(6)])
+    report, batch = service.handle_request(qft(5))
+    assert batch.n_compiled == 0  # nothing reaches a worker
+    assert report.coverage_rate > 0.9  # all but trivial frame-change groups
+
+
+def test_concurrent_batches_coalesce(tmp_path):
+    """Two threads submitting overlapping batches: overlapping groups are
+    compiled by exactly one of them."""
+    service = _service(tmp_path, backend="thread")
+    programs = [qft(5)]
+    barrier = threading.Barrier(2)
+    reports = []
+
+    def submit():
+        barrier.wait()
+        reports.append(service.submit_batch(programs))
+
+    threads = [threading.Thread(target=submit) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert len(reports) == 2
+    # One put per unique group across BOTH batches: whoever lost the claim
+    # race reused the winner's record instead of writing its own.
+    assert service.store.stats.puts == reports[0].n_unique
+    # pricing agrees regardless of who compiled
+    assert (
+        reports[0].requests[0].overall_latency
+        == reports[1].requests[0].overall_latency
+    )
+
+
+def test_engine_fingerprint_guards_store(tmp_path):
+    """A store populated by one engine refuses a different engine: modelled
+    latencies must never be served to a GRAPE client as real results."""
+    from repro.service.store import StoreVersionError
+
+    config = PipelineConfig(policy_name="map2b4l")
+    _service(tmp_path).submit_batch([qft(4)])  # default ModelEngine
+    with pytest.raises(StoreVersionError):
+        CompileService(
+            PulseStore(str(tmp_path / "s")),
+            config,
+            engine=GrapeEngine(config.physics, config.run.fast()),
+            backend="serial",
+        )
+    # the same engine identity keeps working
+    warm = _service(tmp_path).submit_batch([qft(4)])
+    assert warm.n_compiled == 0
+
+
+def test_multi_writer_manifest_merge(tmp_path):
+    """Two store instances on one directory: a flush from one must not drop
+    the other's persisted entries (append-only merge semantics)."""
+    from repro.circuits.gates import Gate
+    from repro.core.cache import LibraryEntry
+    from repro.grouping.group import GateGroup
+
+    root = str(tmp_path / "shared")
+    a = PulseStore(root)
+    b = PulseStore(root)  # loaded before a's puts
+
+    def entry(angle):
+        return LibraryEntry(
+            group=GateGroup(gates=[Gate("rz", (0,), (angle,))]),
+            pulse=None, latency=5.0, iterations=1,
+        )
+
+    a.put(entry(0.1))
+    b.put(entry(0.2))  # b's flush merges a's on-disk row instead of dropping
+
+    reloaded = PulseStore(root)
+    assert len(reloaded) == 2
+
+
+def test_front_end_cache_evicts_dead_circuits(tmp_path):
+    """The id-keyed front-end cache must not serve a dead circuit's result
+    to a new circuit with a recycled id, nor grow without bound in a
+    long-lived service."""
+    import gc
+
+    service = _service(tmp_path)
+    circuit = qft(4)
+    service.pipeline.front_end(circuit)
+    key = id(circuit)
+    assert key in service.pipeline._front_end_cache
+    del circuit
+    gc.collect()
+    assert key not in service.pipeline._front_end_cache
+    # a long request stream leaves no residue once circuits are dropped
+    for _ in range(5):
+        service.handle_request(qft(3))
+    gc.collect()
+    assert len(service.pipeline._front_end_cache) == 0
+
+
+def test_invalid_backend_does_not_strand_claims(tmp_path):
+    """A bad backend spec fails at execute time; the claims taken before the
+    failure must be released so a corrected service still works."""
+    store = PulseStore(str(tmp_path / "s"))
+    config = PipelineConfig(policy_name="map2b4l")
+    broken = CompileService(store, config, backend="treads")
+    with pytest.raises(ValueError):
+        broken.submit_batch([qft(4)])
+    assert len(broken.coalescer._in_flight) == 0
+    fixed = CompileService(store, config, backend="serial")
+    batch = fixed.submit_batch([qft(4)])
+    assert batch.requests[0].overall_latency > 0
+
+
+def test_failed_batch_releases_claims(tmp_path):
+    """A batch that blows up mid-persist must not strand its coalescer
+    claims — the next batch for the same programs still completes."""
+    service = _service(tmp_path)
+    program = qft(4)
+
+    real_put = service.store.put
+    calls = {"n": 0}
+
+    def failing_put(entry, flush=True):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise OSError("disk full")
+        real_put(entry, flush=flush)
+
+    service.store.put = failing_put
+    with pytest.raises(OSError):
+        service.submit_batch([program])
+    service.store.put = real_put
+
+    batch = service.submit_batch([program])  # must not deadlock on claims
+    assert batch.requests[0].overall_latency > 0
+    assert len(service.coalescer._in_flight) == 0
+
+
+# ------------------------------------------------------------------ protocol
+def test_parse_request_variants():
+    named = parse_request('{"id": "1", "name": "qft_4"}')
+    assert named.name == "qft_4" and not named.is_command
+    qasm = parse_request('{"qasm": "OPENQASM 2.0;\\nqreg q[1];\\nh q[0];"}')
+    assert qasm.qasm is not None
+    cmd = parse_request('{"cmd": "stats"}')
+    assert cmd.is_command
+    with pytest.raises(ProtocolError):
+        parse_request("not json")
+    with pytest.raises(ProtocolError):
+        parse_request('{"id": "x"}')
+    with pytest.raises(ProtocolError):
+        parse_request('["a", "list"]')
+
+
+def test_resolve_program_names():
+    assert resolve_program("qft_7").n_qubits == 7
+    assert resolve_program("ex2").name == "ex2"
+    with pytest.raises(ProtocolError):
+        resolve_program("unknown_prog")
+
+
+def test_request_circuit_from_qasm():
+    request = parse_request(
+        '{"id": "q", "qasm": "OPENQASM 2.0;\\nqreg q[2];\\nh q[0];\\ncx q[0],q[1];"}'
+    )
+    circuit = request_circuit(request)
+    assert circuit.n_qubits == 2
+
+
+# ----------------------------------------------------------------- frontdoor
+def test_serve_loop_end_to_end(tmp_path):
+    service = _service(tmp_path)
+    stdin = io.StringIO(
+        "\n".join(
+            [
+                '{"id": "r1", "name": "qft_4"}',
+                '{"id": "r1b", "name": "qft_4"}',
+                "not json",
+                '{"id": "s", "cmd": "stats"}',
+                '{"id": "q", "cmd": "quit"}',
+                '{"id": "never", "name": "qft_4"}',
+            ]
+        )
+    )
+    stdout = io.StringIO()
+    assert serve_loop(service, stdin, stdout) == 0
+    lines = [json.loads(l) for l in stdout.getvalue().splitlines()]
+    assert len(lines) == 5  # the post-quit request is never answered
+    first, second, bad, stats, bye = lines
+    assert first["ok"] and first["coverage_rate"] == 0.0
+    assert second["ok"] and second["coverage_rate"] == 1.0
+    assert second["compiled_groups"] == 0
+    assert not bad["ok"]
+    assert stats["ok"] and stats["entries"] > 0
+    assert bye["bye"]
+
+
+def test_collect_programs(tmp_path):
+    qasm_dir = tmp_path / "qasm"
+    qasm_dir.mkdir()
+    (qasm_dir / "tiny.qasm").write_text(
+        "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];"
+    )
+    programs = collect_programs([str(qasm_dir), "qft_4", "ex2"])
+    assert [p.name for p in programs] == ["tiny", "qft_4", "ex2"]
+    with pytest.raises(FileNotFoundError):
+        collect_programs([str(tmp_path / "empty_missing_dir.qasm")])
+
+
+def test_cmd_batch_json_twice(tmp_path, capsys):
+    """The CI smoke contract: second run against the same store is a 100%
+    cache hit with zero compiles."""
+    args = [
+        "qft_4", "--store", str(tmp_path / "store"),
+        "--workers", "2", "--backend", "serial", "--json",
+    ]
+    assert cmd_batch(args) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["compiled_groups"] + first["n_trivial"] == first["n_unique"]
+    assert cmd_batch(args) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["compiled_groups"] == 0
+    assert second["n_trivial"] == 0
+    assert second["batch_coverage_rate"] == 1.0
+    assert second["store"]["hit_rate"] == 1.0
+
+
+def test_cmd_batch_unknown_program_clean_error(tmp_path, capsys):
+    code = cmd_batch(["nosuchprog", "--store", str(tmp_path / "store")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "repro batch:" in err and "nosuchprog" in err
+
+
+def test_cmd_batch_table_output(tmp_path, capsys):
+    assert (
+        cmd_batch(
+            ["qft_4", "--store", str(tmp_path / "store"), "--backend", "serial"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "repro batch" in out
+    assert "store:" in out
+    assert "perf report" in out

@@ -1,0 +1,198 @@
+"""Persistent pulse store: layout, atomicity, stats, eviction, reload."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import Gate
+from repro.core.cache import LibraryEntry, entry_to_dict
+from repro.grouping.group import GateGroup
+from repro.qoc.pulse import Pulse
+from repro.service.store import (
+    MANIFEST_VERSION,
+    PulseStore,
+    StoreVersionError,
+    key_digest,
+)
+
+
+def _group(angle: float) -> GateGroup:
+    return GateGroup(gates=[Gate("cx", (0, 1)), Gate("rz", (1,), (angle,))])
+
+
+def _entry(angle: float, latency: float = 40.0, pulse: bool = True) -> LibraryEntry:
+    group = _group(angle)
+    p = None
+    if pulse:
+        p = Pulse(
+            np.linspace(0, angle + 0.1, 35).reshape(7, 5),
+            dt=2.0,
+            control_labels=["X0", "Y0", "X1", "Y1", "XX01"],
+            n_qubits=2,
+        )
+    return LibraryEntry(group=group, pulse=p, latency=latency, iterations=11)
+
+
+def test_put_get_roundtrip(tmp_path):
+    store = PulseStore(str(tmp_path / "s"))
+    entry = _entry(0.3)
+    store.put(entry)
+    got = store.get(_group(0.3))
+    assert got is not None
+    assert got.latency == 40.0
+    assert np.array_equal(got.pulse.amplitudes, entry.pulse.amplitudes)
+    assert store.stats.hits == 1 and store.stats.puts == 1
+
+
+def test_miss_counts(tmp_path):
+    store = PulseStore(str(tmp_path / "s"))
+    assert store.get(_group(0.9)) is None
+    assert store.stats.misses == 1
+    assert store.stats.hit_rate == 0.0
+
+
+def test_disk_layout_and_reload(tmp_path):
+    root = str(tmp_path / "s")
+    store = PulseStore(root)
+    entry = _entry(0.5)
+    store.put(entry)
+    digest = key_digest(entry.group.key())
+    assert os.path.exists(os.path.join(root, "entries", f"{digest}.json"))
+    manifest = json.loads(open(os.path.join(root, "manifest.json")).read())
+    assert manifest["version"] == MANIFEST_VERSION
+    assert digest in manifest["entries"]
+
+    again = PulseStore(root)
+    assert len(again) == 1
+    got = again.get(_group(0.5))
+    assert got is not None
+    assert np.array_equal(got.pulse.amplitudes, entry.pulse.amplitudes)
+    # a fresh instance starts with fresh stats
+    assert again.stats.puts == 0 and again.stats.hits == 1
+
+
+def test_corrupt_manifest_recovers_from_entry_files(tmp_path):
+    """A truncated/garbage manifest must not brick the store: the entry
+    files are the durable source, and the index rebuilds from them."""
+    root = str(tmp_path / "s")
+    store = PulseStore(root)
+    store.put(_entry(0.1))
+    store.put(_entry(0.2))
+    open(os.path.join(root, "manifest.json"), "w").write("{ trunca")
+    recovered = PulseStore(root)
+    assert len(recovered) == 2
+    assert recovered.get(_group(0.1)) is not None
+    # the rebuilt manifest is valid again for the next load
+    assert len(PulseStore(root)) == 2
+
+
+def test_version_mismatch_refused(tmp_path):
+    root = str(tmp_path / "s")
+    PulseStore(root).put(_entry(0.1))
+    manifest_path = os.path.join(root, "manifest.json")
+    raw = json.loads(open(manifest_path).read())
+    raw["version"] = 99
+    open(manifest_path, "w").write(json.dumps(raw))
+    with pytest.raises(StoreVersionError):
+        PulseStore(root)
+
+
+def test_orphan_entry_and_missing_file_tolerated(tmp_path):
+    root = str(tmp_path / "s")
+    store = PulseStore(root)
+    a, b = _entry(0.1), _entry(0.2)
+    store.put(a)
+    store.put(b)
+    # simulate a torn put: entry file vanished after the manifest was written
+    os.unlink(os.path.join(root, "entries", f"{key_digest(a.group.key())}.json"))
+    again = PulseStore(root)
+    assert len(again) == 1
+    assert again.get(_group(0.2)) is not None
+
+
+def test_corrupt_entry_skipped(tmp_path):
+    root = str(tmp_path / "s")
+    store = PulseStore(root)
+    entry = _entry(0.4)
+    store.put(entry)
+    path = os.path.join(root, "entries", f"{key_digest(entry.group.key())}.json")
+    other = _entry(0.9)
+    open(path, "w").write(json.dumps(entry_to_dict(other)))
+    # digest no longer matches the content -> entry refused on load
+    assert len(PulseStore(root)) == 0
+
+
+def test_lru_eviction(tmp_path):
+    store = PulseStore(str(tmp_path / "s"), max_entries=2)
+    store.put(_entry(0.1))
+    store.put(_entry(0.2))
+    store.get(_group(0.1))  # 0.2 is now the coldest
+    store.put(_entry(0.3))
+    assert store.stats.evictions == 1
+    assert len(store) == 2
+    assert store.get(_group(0.2)) is None
+    assert store.get(_group(0.1)) is not None
+    assert store.get(_group(0.3)) is not None
+    # the evicted entry file is gone from disk too
+    evicted = key_digest(_group(0.2).key())
+    assert not os.path.exists(
+        os.path.join(str(tmp_path / "s"), "entries", f"{evicted}.json")
+    )
+
+
+def test_lru_order_survives_reload(tmp_path):
+    root = str(tmp_path / "s")
+    store = PulseStore(root, max_entries=3)
+    store.put(_entry(0.1))
+    store.put(_entry(0.2))
+    store.put(_entry(0.3))
+    store.get(_group(0.1))  # recency: 0.2 < 0.3 < 0.1
+    store.flush()  # get() bumps recency in memory; flush persists it
+    again = PulseStore(root, max_entries=3)
+    again.put(_entry(0.4))
+    assert again.get(_group(0.2)) is None  # coldest across the restart
+    assert again.get(_group(0.3)) is not None
+
+
+def test_tombstone_spent_after_flush(tmp_path):
+    """An eviction recorded once must not keep deleting a concurrent
+    writer's later re-put of the same key from the merged manifest."""
+    root = str(tmp_path / "s")
+    a = PulseStore(root, max_entries=1)
+    a.put(_entry(0.1))
+    a.put(_entry(0.2))  # evicts 0.1, tombstone recorded + flushed
+    assert a.stats.evictions == 1
+    b = PulseStore(root)
+    b.put(_entry(0.1))  # concurrent writer restores the evicted key
+    a.flush()  # must NOT re-delete 0.1: the tombstone was spent
+    reloaded = PulseStore(root)
+    assert reloaded.get(_group(0.1)) is not None
+
+
+def test_wire_permuted_lookup_through_store(tmp_path):
+    """Content addressing is canonical: a permuted occurrence hits the store,
+    and the library view hands back a correctly relabelled pulse."""
+    store = PulseStore(str(tmp_path / "s"))
+    entry = _entry(0.7)
+    store.put(entry)
+    permuted = GateGroup(gates=[Gate("cx", (1, 0)), Gate("rz", (0,), (0.7,))])
+    assert permuted.key() == entry.group.key()
+    got = store.get(permuted)
+    assert got is not None
+    pulse = store.library().pulse_for(permuted)
+    assert pulse is not None
+    target = permuted.matrix()
+    source = entry.group.matrix()
+    assert not np.allclose(target, source)  # genuinely permuted pair
+    assert store.stats.hits == 1
+
+
+def test_snapshot_is_independent(tmp_path):
+    store = PulseStore(str(tmp_path / "s"))
+    store.put(_entry(0.1))
+    snap = store.snapshot()
+    store.put(_entry(0.2))
+    assert len(snap) == 1
+    assert len(store.library()) == 2
