@@ -1,9 +1,13 @@
-"""Batch-service throughput: cold vs warm store, worker scaling.
+"""Batch-service throughput: cold vs warm store, shards, async, workers.
 
-Two regression points (baselines in PERF.md):
+Regression points (baselines in PERF.md):
 
 * ``small_suite`` batch through the full service — cold store (every group
-  solved + persisted) vs warm store (pure store reads, zero solves).
+  solved + persisted) vs warm store (pure store reads, zero solves) — on a
+  single-directory store and on a sharded one (``--shards N``, default 4).
+* the same suite served to N concurrent asyncio clients (one request per
+  program) against the line-at-a-time baseline: total solves must match a
+  single deduped batch, i.e. micro-batching + coalescing does its job.
 * qft_16's uncovered groups on the process backend at 1/2/4/8 workers with
   the real GRAPE engine — the paper's Sec V-D parallel-compilation claim.
   Pulses must be bit-identical across worker counts (the service's
@@ -12,8 +16,11 @@ Two regression points (baselines in PERF.md):
   is asserted everywhere.
 
 Run:  pytest benchmarks/bench_service_throughput.py --benchmark-only -s
+      pytest benchmarks/bench_service_throughput.py --benchmark-only -s --shards 8
 """
 
+import asyncio
+import json
 import os
 import time
 
@@ -21,7 +28,14 @@ from conftest import run_once
 
 from repro.core.cache import PulseLibrary
 from repro.core.engines import GrapeEngine
-from repro.service import CompilePlanner, CompileService, PulseStore, WorkerPoolExecutor
+from repro.service import (
+    AsyncCompileServer,
+    CompilePlanner,
+    CompileService,
+    PulseStore,
+    WorkerPoolExecutor,
+    open_store,
+)
 from repro.utils.config import PipelineConfig
 from repro.workloads import build_named, small_suite
 
@@ -75,6 +89,111 @@ def test_service_batch_warm_store(benchmark, tmp_path):
     print(
         f"\nwarm: {batch.n_unique} unique, 100% store hits, "
         f"wall {batch.wall_time:.2f}s"
+    )
+
+
+def test_service_batch_sharded_store(benchmark, tmp_path, shards):
+    """Cold + warm through a sharded store: same dedup/coverage contract as
+    the single directory, entries spread across the shards."""
+    programs = _suite_programs()
+    root = str(tmp_path / "sharded")
+    config = PipelineConfig(policy_name="map2b4l")
+
+    def cold():
+        service = CompileService(
+            open_store(root, shards=shards),
+            config,
+            backend="thread",
+            n_workers=4,
+        )
+        return service.submit_batch(programs)
+
+    batch = run_once(benchmark, cold)
+    assert batch.n_compiled > 0
+    store = open_store(root)  # auto-detects the sharded layout
+    assert getattr(store, "n_shards", 1) == shards
+    per_shard = [len(s) for s in getattr(store, "shards", [store])]
+    assert sum(per_shard) == len(store)
+    warm = CompileService(
+        store, config, backend="thread", n_workers=4
+    ).submit_batch(programs)
+    assert warm.n_compiled == 0
+    assert warm.coverage_rate == 1.0
+    print(
+        f"\nsharded({shards}): {batch.n_unique} unique cold-compiled, "
+        f"per-shard entries {per_shard}, warm run 100% hits, "
+        f"cold wall {batch.wall_time:.2f}s / warm {warm.wall_time:.2f}s"
+    )
+
+
+def test_service_async_clients(benchmark, tmp_path, shards):
+    """Async front door: the suite as concurrent clients vs line-at-a-time.
+
+    Throughput point for PERF.md: N clients connect at once, the planning
+    window folds their requests into few batches, and the total solve count
+    equals one deduped batch — strictly fewer than the same requests served
+    sequentially against per-request cold stores (no amortization).
+    """
+    programs = _suite_programs()
+    config = PipelineConfig(policy_name="map2b4l")
+
+    # line-at-a-time baseline: each request pays its own cold compile
+    sequential_solves = 0
+    t0 = time.perf_counter()
+    for index, program in enumerate(programs):
+        service = CompileService(
+            PulseStore(str(tmp_path / f"cold{index}")),
+            config,
+            backend="thread",
+            n_workers=4,
+        )
+        batch = service.submit_batch([program])
+        sequential_solves += batch.n_compiled + batch.n_trivial
+    sequential_wall = time.perf_counter() - t0
+
+    async def serve_all():
+        service = CompileService(
+            open_store(str(tmp_path / "async"), shards=shards),
+            config,
+            backend="thread",
+            n_workers=4,
+        )
+        server = AsyncCompileServer(
+            service, window_s=0.05, max_batch=16, max_inflight=2
+        )
+        tcp = await server.start_tcp("127.0.0.1", 0)
+        port = tcp.sockets[0].getsockname()[1]
+
+        async def one_client(program):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                (json.dumps({"id": program.name, "name": program.name}) + "\n").encode()
+            )
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            return json.loads(line)
+
+        responses = await asyncio.gather(*[one_client(p) for p in programs])
+        tcp.close()
+        await tcp.wait_closed()
+        await server.close()
+        return responses, service
+
+    t0 = time.perf_counter()
+    responses, service = run_once(
+        benchmark, lambda: asyncio.run(asyncio.wait_for(serve_all(), 300))
+    )
+    async_wall = time.perf_counter() - t0
+    assert all(r["ok"] for r in responses)
+    async_solves = service.store.stats.puts
+    assert async_solves < sequential_solves
+    print(
+        f"\nasync({len(programs)} clients, {shards} shards): "
+        f"{async_solves} solves vs {sequential_solves} sequential-cold, "
+        f"{len({r['batch'] for r in responses})} batches, "
+        f"wall {async_wall:.2f}s vs {sequential_wall:.2f}s line-at-a-time"
     )
 
 

@@ -11,6 +11,21 @@ Run with:  pytest benchmarks/ --benchmark-only -s
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count for the service-throughput store benches "
+             "(bench_service_throughput.py)",
+    )
+
+
+@pytest.fixture
+def shards(request):
+    return request.config.getoption("--shards")
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Execute an experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -10,6 +10,9 @@ Usage::
     python -m repro perf --json             # same, machine-readable
     python -m repro batch qft_16 ex2 --store /tmp/pulses   # batch service
     python -m repro serve --store /tmp/pulses              # JSON-lines loop
+    python -m repro serve --store /tmp/pulses --async --port 0  # asyncio server
+    python -m repro store stats --store /tmp/pulses        # store admin
+    python -m repro store reshard --store /tmp/pulses --shards 4
 """
 
 from __future__ import annotations
@@ -62,10 +65,12 @@ def _run(name: str, mode: str) -> None:
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Service subcommands parse their own flags (repro serve/batch --store ...).
-    if argv and argv[0] in ("serve", "batch"):
-        from repro.service.frontdoor import cmd_batch, cmd_serve
+    if argv and argv[0] in ("serve", "batch", "store"):
+        from repro.service.frontdoor import cmd_batch, cmd_serve, cmd_store
 
-        handler = cmd_serve if argv[0] == "serve" else cmd_batch
+        handler = {"serve": cmd_serve, "batch": cmd_batch, "store": cmd_store}[
+            argv[0]
+        ]
         return handler(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -74,7 +79,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), or 'all', 'list', 'perf', "
-             "'serve', 'batch'",
+             "'serve', 'batch', 'store'",
     )
     parser.add_argument(
         "--mode",
@@ -95,6 +100,7 @@ def main(argv=None) -> int:
         print("perf")
         print("serve")
         print("batch")
+        print("store")
         return 0
     if args.experiment == "perf":
         from repro.perf.hotpaths import run_perf

@@ -108,27 +108,32 @@ def pipeline_report() -> PerfReport:
 
 
 def service_report() -> PerfReport:
-    """Batch-service breakdown: plan / per-worker solve / store I/O.
+    """Batch-service breakdown: plan / per-worker solve / per-shard store I/O.
 
-    Runs a two-program batch against a throwaway store in a temp directory —
-    the same stages a production ``repro serve`` loop spends its time in
-    (``service.plan``, ``execute.worker<k>.*``, ``store.read``/``write``).
+    Runs a two-program batch against a throwaway *2-shard* store in a temp
+    directory — the same stages a production ``repro serve`` loop spends
+    its time in (``service.plan``, ``execute.worker<k>.wall/solve/
+    queue_wait``, and per-shard ``store.shard<i>.read``/``write``/``hits``/
+    ``misses``/``puts``/``evictions``).
     """
+    import os
     import tempfile
 
-    from repro.service import CompileService, PulseStore
+    from repro.service import CompileService, open_store
     from repro.workloads import qft
 
     with tempfile.TemporaryDirectory() as root:
         store_perf = PerfRecorder()
-        store = PulseStore(root, perf=store_perf)
+        store = open_store(os.path.join(root, "s"), shards=2, perf=store_perf)
         service = CompileService(store, backend="thread", n_workers=2)
         batch = service.submit_batch([qft(4), qft(5)])
         report = batch.perf or PerfReport(label="service (no perf recorded)")
         merged = PerfRecorder()
         merged.merge_report(report)
         merged.merge_report(store_perf.report())
-        return merged.report("service batch: qft_4 + qft_5, 2 thread workers")
+        return merged.report(
+            "service batch: qft_4 + qft_5, 2 thread workers, 2 store shards"
+        )
 
 
 def run_perf(as_json: bool = False) -> str:

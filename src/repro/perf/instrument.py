@@ -46,6 +46,18 @@ class PerfRecorder:
         stat.calls += 1
         stat.total_s += float(seconds)
 
+    def record_since(self, name: str, start: float) -> None:
+        """Close an open-ended interval: ``start`` is an earlier reading of
+        this recorder's clock. For waits that span tasks or threads (a
+        request sitting in the serve queue, a part waiting for a pool
+        slot), where no single ``with stage(...)`` block encloses the
+        interval."""
+        self.record(name, self._clock() - start)
+
+    def now(self) -> float:
+        """A clock reading to later pass to :meth:`record_since`."""
+        return self._clock()
+
     def count(self, name: str, n: int = 1) -> None:
         """Increment a named counter."""
         self.counters[name] = self.counters.get(name, 0) + int(n)

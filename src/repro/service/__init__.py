@@ -8,10 +8,20 @@ scaling work (sharding, multi-backend) plugs into.
 
 Store layout
 ------------
-:class:`~repro.service.store.PulseStore` persists one directory per store::
+Persistence lives behind the :class:`~repro.service.store.StoreBackend`
+interface. The single-directory backend,
+:class:`~repro.service.store.PulseStore`, persists::
 
     <root>/manifest.json          {"version": 1, "entries": {keyhex: meta}}
     <root>/entries/<keyhex>.json  one LibraryEntry each (entry_to_dict)
+
+The sharded backend, :class:`~repro.service.sharding.ShardedStore`, splits
+one logical store across N such directories by key-digest range under a
+versioned ``shardmap.json`` (validated on open; changed only by the
+``repro store reshard`` migration) — each shard has its own manifest,
+flock, LRU bound, and stats, so writers to different key ranges never
+serialize on one lock. :func:`~repro.service.sharding.open_store`
+auto-detects the layout.
 
 Entries are content-addressed by the *canonical group key* — the group
 unitary modulo global phase and wire permutation — so a stored pulse serves
@@ -66,11 +76,17 @@ experiments (see ``executor``'s module docstring for the tradeoff).
 
 Front door
 ----------
-``repro serve`` is a JSON-lines request loop on stdin/stdout; ``repro
-batch`` compiles a workload list as one batch. Both take ``--store``,
-``--workers``, ``--backend``, ``--engine``; see ``repro.service.frontdoor``.
+``repro serve`` is a JSON-lines request loop on stdin/stdout; with
+``--async`` it becomes the asyncio server
+(:class:`~repro.service.asyncserve.AsyncCompileServer`): requests from many
+clients are micro-batched within a planning window, solved concurrently in
+executor threads, coalesced across batches, and answered out of order
+(correlated by request id). ``repro batch`` compiles a workload list as one
+batch; ``repro store`` administers a store directory (stats / reshard /
+revalidate). See ``repro.service.frontdoor``.
 """
 
+from repro.service.asyncserve import AsyncCompileServer
 from repro.service.executor import (
     GroupCoalescer,
     ProcessBackend,
@@ -81,9 +97,16 @@ from repro.service.executor import (
 )
 from repro.service.planner import BatchPlan, CompilePlanner, WorkerPlan
 from repro.service.service import BatchReport, CompileService, RequestReport
-from repro.service.store import PulseStore, StoreStats, StoreVersionError
+from repro.service.sharding import ShardedStore, open_store, reshard
+from repro.service.store import (
+    PulseStore,
+    StoreBackend,
+    StoreStats,
+    StoreVersionError,
+)
 
 __all__ = [
+    "AsyncCompileServer",
     "BatchPlan",
     "BatchReport",
     "CompilePlanner",
@@ -93,10 +116,14 @@ __all__ = [
     "PulseStore",
     "RequestReport",
     "SerialBackend",
+    "ShardedStore",
+    "StoreBackend",
     "StoreStats",
     "StoreVersionError",
     "ThreadBackend",
     "WorkerPlan",
     "WorkerPoolExecutor",
     "make_backend",
+    "open_store",
+    "reshard",
 ]

@@ -1,0 +1,384 @@
+"""Asyncio front door: many clients, micro-batched planning, overlapped solves.
+
+The synchronous ``repro serve`` loop handles one JSON line at a time, so the
+service's cross-request machinery (batch-wide dedup, ``GroupCoalescer``)
+never sees two clients at once. This module rebuilds the front door on
+asyncio:
+
+* **Concurrent parsing** — every connection (TCP) or the stdin pipe feeds
+  request lines into one queue as they arrive; protocol errors answer
+  immediately without touching the compile path.
+* **Micro-batching** — a batcher task collects requests for a short
+  *planning window* (``window_s``, default 25 ms) or until ``max_batch``
+  and submits them as one :meth:`~repro.service.service.CompileService.
+  submit_batch` call: requests that arrive together dedupe against each
+  other at the planner, exactly like a ``repro batch`` workload list.
+* **Overlap** — each batch runs in a worker thread
+  (``loop.run_in_executor``), so the event loop keeps parsing and the next
+  window keeps filling while prior solves are still running. Up to
+  ``max_inflight`` batches execute concurrently; concurrent batches racing
+  for the same key coalesce through the service's shared
+  :class:`~repro.service.executor.GroupCoalescer` — one solve, every
+  waiter reuses the record.
+* **Out-of-order responses** — whichever batch finishes first answers
+  first. Responses are correlated by request id (auto-assigned when the
+  client sent none) and stamped with the batch sequence number; see
+  :mod:`repro.service.protocol`.
+
+Queue time is recorded per request under ``serve.queue_wait`` (the window
+plus any backpressure from ``max_inflight``), batch sizes under
+``serve.batch_requests`` — both visible in ``repro perf``-style reports
+via the server's :class:`~repro.perf.instrument.PerfRecorder`.
+
+Deadlock note: the executor pool has exactly ``max_inflight`` threads and
+batch dispatch is gated by a semaphore of the same size, so every batch
+that holds coalescer claims is guaranteed a running thread — a waiter can
+always be outwaited by its owner, never by a queue slot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import IO, List, Optional
+
+from repro.circuits.circuit import Circuit
+from repro.perf.instrument import PerfRecorder, recorder_or_null
+from repro.service.protocol import (
+    CompileRequest,
+    ProtocolError,
+    assign_request_id,
+    encode,
+    error_response,
+    parse_request,
+    request_circuit,
+    response_for,
+)
+from repro.service.service import CompileService
+
+
+class _Client:
+    """One response sink (a TCP connection or the stdout pipe).
+
+    Serializes writes with a lock so two finishing batches cannot
+    interleave halves of a line, and swallows writes to a peer that
+    already disconnected (its requests may still be in a running batch).
+    """
+
+    def __init__(self, writer: Optional[asyncio.StreamWriter], stdout: Optional[IO[str]] = None):
+        self._writer = writer
+        self._stdout = stdout
+        self._lock = asyncio.Lock()
+
+    async def send(self, payload: dict) -> None:
+        line = encode(payload)
+        async with self._lock:
+            if self._writer is not None:
+                if self._writer.is_closing():
+                    return
+                try:
+                    self._writer.write(line.encode() + b"\n")
+                    await self._writer.drain()
+                except (ConnectionError, RuntimeError):
+                    return
+            else:
+                print(line, file=self._stdout, flush=True)
+
+
+@dataclass
+class _Pending:
+    """One compile request waiting for (or riding in) a batch."""
+
+    request: CompileRequest
+    circuit: Circuit
+    client: _Client
+    enqueued_at: float = field(default=0.0)
+
+
+class AsyncCompileServer:
+    """Micro-batching asyncio server around one :class:`CompileService`."""
+
+    def __init__(
+        self,
+        service: CompileService,
+        window_s: float = 0.025,
+        max_batch: int = 16,
+        max_inflight: int = 2,
+        perf: Optional[PerfRecorder] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.service = service
+        self.window_s = max(0.0, float(window_s))
+        self.max_batch = int(max_batch)
+        self.max_inflight = int(max_inflight)
+        self.perf = recorder_or_null(perf)
+        self.n_batches = 0
+        self.n_requests = 0
+        self.stopping = asyncio.Event()
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._sem = asyncio.Semaphore(self.max_inflight)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_inflight, thread_name_prefix="repro-batch"
+        )
+        self._batcher: Optional[asyncio.Task] = None
+        self._batch_tasks: set = set()
+        self._next_id = 0
+        self._outstanding = 0  # enqueued compile requests not yet answered
+        self._connections: set = set()  # live TCP writers, closed on shutdown
+
+    # -------------------------------------------------------------- intake
+    async def handle_line(self, line: str, client: _Client) -> None:
+        """Parse one request line; commands answer inline, compiles enqueue."""
+        line = line.strip()
+        if not line:
+            return
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            await client.send(error_response("", str(exc)))
+            return
+        if request.is_command:
+            await self._handle_command(request, client)
+            return
+        self._next_id += 1
+        assign_request_id(request, self._next_id)
+        try:
+            circuit = request_circuit(request)
+        except Exception as exc:  # bad program name / malformed QASM
+            await client.send(
+                error_response(request.id, f"{type(exc).__name__}: {exc}")
+            )
+            return
+        self.n_requests += 1
+        self._outstanding += 1
+        pending = _Pending(
+            request=request,
+            circuit=circuit,
+            client=client,
+            enqueued_at=self.perf.now(),
+        )
+        await self._queue.put(pending)
+
+    async def _handle_command(self, request: CompileRequest, client: _Client) -> None:
+        if request.cmd in ("quit", "shutdown"):
+            await client.send({"id": request.id, "ok": True, "bye": True})
+            if request.cmd == "shutdown":
+                self.stopping.set()
+            raise ConnectionResetError("client quit")  # unwinds this connection
+        if request.cmd == "stats":
+            await client.send(
+                {
+                    "id": request.id,
+                    "ok": True,
+                    "store": self.service.store.stats.to_dict(),
+                    "store_shards": self.service.store.stats_by_shard(),
+                    "entries": len(self.service.store),
+                    "batches": self.service.n_batches,
+                    "served_batches": self.n_batches,
+                    "served_requests": self.n_requests,
+                    "queued": self._queue.qsize(),
+                    "coalesced": self.service.coalescer.coalesced,
+                }
+            )
+            return
+        await client.send(
+            error_response(request.id, f"unknown cmd {request.cmd!r}")
+        )
+
+    # ------------------------------------------------------------- batching
+    async def _batch_loop(self) -> None:
+        """Collect → dispatch forever; dispatch never blocks collection."""
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch: List[_Pending] = [first]
+            deadline = loop.time() + self.window_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            task = asyncio.create_task(self._run_batch(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: List[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        async with self._sem:
+            for pending in batch:
+                self.perf.record_since("serve.queue_wait", pending.enqueued_at)
+            self.perf.count("serve.batch_requests", len(batch))
+            circuits = [p.circuit for p in batch]
+            try:
+                report = await loop.run_in_executor(
+                    self._pool, self.service.submit_batch, circuits
+                )
+            except Exception as exc:
+                message = f"{type(exc).__name__}: {exc}"
+                for pending in batch:
+                    await pending.client.send(
+                        error_response(pending.request.id, message)
+                    )
+                return
+            else:
+                self.n_batches += 1
+                for pending, request_report in zip(batch, report.requests):
+                    payload = response_for(
+                        pending.request, request_report, report
+                    )
+                    payload["batch"] = self.n_batches
+                    await pending.client.send(payload)
+            finally:
+                self._outstanding -= len(batch)
+
+    # ------------------------------------------------------------ lifecycle
+    def _ensure_batcher(self) -> None:
+        if self._batcher is None or self._batcher.done():
+            self._batcher = asyncio.create_task(self._batch_loop())
+
+    async def drain(self) -> None:
+        """Wait until every enqueued request has been answered."""
+        while self._outstanding > 0:
+            if self._batch_tasks:
+                await asyncio.gather(
+                    *list(self._batch_tasks), return_exceptions=True
+                )
+            else:
+                await asyncio.sleep(0.005)  # batcher still inside its window
+
+    def hang_up(self) -> None:
+        """Close every live client connection (server-initiated shutdown).
+
+        Needed before awaiting the TCP server's ``wait_closed``: from
+        Python 3.12.1 it waits for every connection handler, so a client
+        parked in ``readline`` would block shutdown forever.
+        """
+        for writer in list(self._connections):
+            if not writer.is_closing():
+                writer.close()
+
+    async def close(self) -> None:
+        await self.drain()
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        self._pool.shutdown(wait=True)
+        # Persist read-recency bumps, same contract as the sync serve loop.
+        self.service.store.flush()
+
+    # ------------------------------------------------------------ frontends
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """`asyncio.start_server` callback: one task per TCP client."""
+        self._ensure_batcher()
+        self._connections.add(writer)
+        client = _Client(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                await self.handle_line(line.decode(errors="replace"), client)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # disconnect mid-line; in-flight batches still run
+        finally:
+            self._connections.discard(writer)
+            if not writer.is_closing():
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    async def start_tcp(self, host: str, port: int) -> asyncio.AbstractServer:
+        self._ensure_batcher()
+        return await asyncio.start_server(self.handle_connection, host, port)
+
+    async def serve_stdio(
+        self,
+        stdin: Optional[IO[str]] = None,
+        stdout: Optional[IO[str]] = None,
+    ) -> int:
+        """Async loop over stdin/stdout; returns when stdin closes or quit.
+
+        Lines are read in a side thread (portable — no pipe-transport
+        support needed), everything else runs on the event loop, so a
+        pipeline of requests written at once is parsed concurrently and
+        batched exactly like TCP traffic.
+        """
+        stdin = stdin if stdin is not None else sys.stdin
+        stdout = stdout if stdout is not None else sys.stdout
+        self._ensure_batcher()
+        client = _Client(None, stdout=stdout)
+        loop = asyncio.get_running_loop()
+        with ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-stdin") as readers:
+            try:
+                while not self.stopping.is_set():
+                    line = await loop.run_in_executor(readers, stdin.readline)
+                    if not line:
+                        break
+                    await self.handle_line(line, client)
+            except ConnectionResetError:
+                pass  # quit/shutdown command
+        await self.close()
+        return 0
+
+
+async def _amain_tcp(server: AsyncCompileServer, host: str, port: int) -> int:
+    tcp = await server.start_tcp(host, port)
+    bound = tcp.sockets[0].getsockname()
+    # Announce the bound address (port 0 resolves here) for scripted clients.
+    print(json.dumps({"serving": f"{bound[0]}:{bound[1]}"}), flush=True)
+    async with tcp:
+        await server.stopping.wait()
+        await server.drain()  # answer everything enqueued before the stop
+        server.hang_up()
+    await server.close()
+    return 0
+
+
+def run_server(
+    service: CompileService,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    window_s: float = 0.025,
+    max_batch: int = 16,
+    max_inflight: int = 2,
+    perf: Optional[PerfRecorder] = None,
+) -> int:
+    """Blocking entry point for ``repro serve --async``.
+
+    ``port=None`` serves stdin/stdout; otherwise a TCP listener on
+    ``host:port`` (``port=0`` picks a free port and announces it as the
+    first stdout line).
+    """
+
+    async def _amain() -> int:
+        server = AsyncCompileServer(
+            service,
+            window_s=window_s,
+            max_batch=max_batch,
+            max_inflight=max_inflight,
+            perf=perf,
+        )
+        if port is None:
+            return await server.serve_stdio()
+        return await _amain_tcp(server, host, port)
+
+    return asyncio.run(_amain())

@@ -65,6 +65,7 @@ class PartOutcome:
     wall_s: float
     perf_stages: Dict[str, float]
     perf_counters: Dict[str, int]
+    queue_wait_s: float = 0.0  # submission -> first instruction on a worker
 
 
 def seed_tag_for(group: GateGroup) -> str:
@@ -74,9 +75,23 @@ def seed_tag_for(group: GateGroup) -> str:
     return f"svc:{key_digest(group.key())[:24]}"
 
 
-def run_part(engine, worker: int, tasks: Sequence[GroupTask]) -> PartOutcome:
-    """Compile one part in order (module-level so process pools can run it)."""
+def run_part(
+    engine,
+    worker: int,
+    tasks: Sequence[GroupTask],
+    submitted_at: Optional[float] = None,
+) -> PartOutcome:
+    """Compile one part in order (module-level so process pools can run it).
+
+    ``submitted_at`` is a ``time.perf_counter`` reading taken when the part
+    was handed to the pool; the gap to the part's first instruction is the
+    pool queue wait (how long the part sat behind other parts), reported
+    per worker as ``execute.worker<k>.queue_wait``. On Linux
+    ``perf_counter`` is CLOCK_MONOTONIC, comparable across the processes
+    of a process pool; elsewhere treat cross-process waits as approximate.
+    """
     start = time.perf_counter()
+    queue_wait = max(0.0, start - submitted_at) if submitted_at is not None else 0.0
     solve_s = 0.0
     records: List[CompileRecord] = []
     iterations = 0
@@ -105,13 +120,14 @@ def run_part(engine, worker: int, tasks: Sequence[GroupTask]) -> PartOutcome:
         wall_s=time.perf_counter() - start,
         perf_stages={"solve": solve_s},
         perf_counters={"groups": len(tasks), "iterations": iterations},
+        queue_wait_s=queue_wait,
     )
 
 
 def _run_part_payload(payload: Tuple) -> PartOutcome:
-    """Process-pool entry point: unpack (engine, worker, tasks)."""
-    engine, worker, tasks = payload
-    return run_part(engine, worker, tasks)
+    """Process-pool entry point: unpack (engine, worker, tasks, submitted)."""
+    engine, worker, tasks, submitted_at = payload
+    return run_part(engine, worker, tasks, submitted_at)
 
 
 # ------------------------------------------------------------------ backends
@@ -123,7 +139,11 @@ class SerialBackend:
     def map_parts(
         self, engine, parts: Sequence[Tuple[int, List[GroupTask]]]
     ) -> List[PartOutcome]:
-        return [run_part(engine, worker, tasks) for worker, tasks in parts]
+        submitted = time.perf_counter()
+        return [
+            run_part(engine, worker, tasks, submitted)
+            for worker, tasks in parts
+        ]
 
 
 class ThreadBackend:
@@ -139,7 +159,7 @@ class ThreadBackend:
     ) -> List[PartOutcome]:
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
             futures = [
-                pool.submit(run_part, engine, worker, tasks)
+                pool.submit(run_part, engine, worker, tasks, time.perf_counter())
                 for worker, tasks in parts
             ]
             return [f.result() for f in futures]
@@ -160,7 +180,10 @@ class ProcessBackend:
             return SerialBackend().map_parts(engine, parts)
         with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
             futures = [
-                pool.submit(_run_part_payload, (engine, worker, tasks))
+                pool.submit(
+                    _run_part_payload,
+                    (engine, worker, tasks, time.perf_counter()),
+                )
                 for worker, tasks in parts
             ]
             return [f.result() for f in futures]
@@ -226,7 +249,14 @@ class WorkerPoolExecutor:
 
         Returns a dense list aligned with ``plan.uncovered``; vertices not in
         ``wanted`` get ``None`` slots the caller fills from coalesced futures.
+
+        ``snapshot`` is the frozen warm-seed source: a
+        :class:`~repro.core.cache.PulseLibrary`, or any store backend with
+        a ``snapshot()`` method — a sharded store freezes per-shard
+        snapshots (each under its own shard lock) and merges them here.
         """
+        if hasattr(snapshot, "snapshot"):  # a StoreBackend: freeze it now
+            snapshot = snapshot.snapshot()
         wanted_set = set(wanted)
         parts: List[Tuple[int, List[GroupTask]]] = []
         index_map: List[List[int]] = []
@@ -268,6 +298,7 @@ class WorkerPoolExecutor:
                 records[vertex] = outcome.records[local]
             prefix = f"execute.worker{outcome.worker}."
             self.perf.record(prefix + "wall", outcome.wall_s)
+            self.perf.record(prefix + "queue_wait", outcome.queue_wait_s)
             for name, seconds in outcome.perf_stages.items():
                 self.perf.record(prefix + name, seconds)
             for name, value in outcome.perf_counters.items():
@@ -348,6 +379,16 @@ class GroupCoalescer:
             future = Future()
             self._in_flight[key] = future
             return True, future
+
+    def in_flight_keys(self) -> "set[bytes]":
+        """Keys currently claimed — the store's eviction no-touch list.
+
+        A claimed key is either being solved (its warm-start seed must
+        stay resident) or was just salvaged from the live store (waiters
+        will read it back); evicting it mid-batch would break both.
+        """
+        with self._lock:
+            return set(self._in_flight)
 
     def resolve(self, key: bytes, record: CompileRecord) -> None:
         with self._lock:

@@ -1,13 +1,26 @@
-"""``repro serve`` and ``repro batch``: the service's CLI front door.
+"""``repro serve``, ``repro batch``, ``repro store``: the CLI front door.
 
 ``repro serve`` reads JSON-lines requests from stdin and answers on stdout —
 the minimal long-lived deployment: a persistent store directory plus a
 request loop that amortizes compilation across everything it has ever seen.
+With ``--async`` the loop is replaced by the asyncio server
+(:mod:`repro.service.asyncserve`): stdin/stdout by default, a TCP listener
+with ``--port``; requests from many clients are micro-batched and solved
+concurrently, responses return out of order tagged by request id.
 
 ``repro batch`` compiles a workload list (named programs, ``.qasm`` files,
 or directories of them) as *one* batch: groups dedupe across all programs,
 the shared MST is cut across the worker pool, and the store ends warm. Run
 it twice against the same store and the second run solves nothing.
+
+``repro store`` administers a store directory: ``stats`` dumps merged and
+per-shard counter snapshots plus entry/convergence counts as JSON;
+``reshard`` migrates between shard counts (``--shards``);
+``revalidate`` retrains non-converged entries within an iteration budget.
+
+All data-path commands take ``--shards``: omitted, the store layout is
+auto-detected; given, it must match (a mismatch fails loudly rather than
+mis-routing keys).
 """
 
 from __future__ import annotations
@@ -29,18 +42,26 @@ from repro.service.protocol import (
     response_for,
 )
 from repro.service.service import BatchReport, CompileService
-from repro.service.store import PulseStore, StoreVersionError
+from repro.service.sharding import open_store, reshard
+from repro.service.store import StoreVersionError
 from repro.utils.config import PipelineConfig
 
 
-def _make_service(args) -> CompileService:
+def _make_engine(args):
     from repro.core.engines import GrapeEngine
 
     config = PipelineConfig(policy_name=args.policy)
     engine = None
     if args.engine == "grape":
         engine = GrapeEngine(config.physics, config.run.fast())
-    store = PulseStore(args.store, max_entries=args.max_entries)
+    return config, engine
+
+
+def _make_service(args) -> CompileService:
+    config, engine = _make_engine(args)
+    store = open_store(
+        args.store, shards=args.shards, max_entries=args.max_entries
+    )
     return CompileService(
         store,
         config=config,
@@ -50,20 +71,29 @@ def _make_service(args) -> CompileService:
     )
 
 
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=("model", "grape"), default="model",
+        help="model = instant cost-model solves; grape = real optimizer",
+    )
+    parser.add_argument("--policy", default="map2b4l")
+
+
 def _add_service_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--store", required=True, help="store directory")
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument(
         "--backend", choices=("serial", "thread", "process"), default="thread"
     )
-    parser.add_argument(
-        "--engine", choices=("model", "grape"), default="model",
-        help="model = instant cost-model solves; grape = real optimizer",
-    )
-    parser.add_argument("--policy", default="map2b4l")
+    _add_engine_args(parser)
     parser.add_argument(
         "--max-entries", type=int, default=None,
         help="bound the store (LRU eviction beyond this many entries)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count: omit to auto-detect the layout on disk; "
+             "N > 1 creates a fresh store sharded N ways",
     )
 
 
@@ -138,16 +168,145 @@ def _serve_lines(
 def cmd_serve(argv: Sequence[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro serve",
-        description="JSON-lines compile service on stdin/stdout.",
+        description="JSON-lines compile service on stdin/stdout "
+                    "(or TCP with --async --port).",
     )
     _add_service_args(parser)
+    parser.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="asyncio front door: micro-batched concurrent requests, "
+             "out-of-order responses tagged by request id",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="with --async: listen on TCP instead of stdin/stdout "
+             "(0 picks a free port; the bound address is announced as the "
+             "first stdout line)",
+    )
+    parser.add_argument(
+        "--window-ms", type=float, default=25.0,
+        help="async planning window: requests arriving within this many "
+             "ms are planned as one batch",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=16,
+        help="async: cap on requests per planning window",
+    )
+    parser.add_argument(
+        "--inflight", type=int, default=2,
+        help="async: batches solving concurrently (coalesced via the "
+             "shared GroupCoalescer)",
+    )
     args = parser.parse_args(argv)
+    if args.port is not None and not args.use_async:
+        # Validate before _make_service: a usage error must not leave a
+        # freshly created (and fingerprint-stamped) store directory behind.
+        print("repro serve: --port requires --async", file=sys.stderr)
+        return 2
     try:
         service = _make_service(args)
     except StoreVersionError as exc:
         print(f"repro serve: {exc}", file=sys.stderr)
         return 2
+    if args.use_async:
+        from repro.service.asyncserve import run_server
+
+        return run_server(
+            service,
+            host=args.host,
+            port=args.port,
+            window_s=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+            max_inflight=args.inflight,
+        )
     return serve_loop(service, sys.stdin, sys.stdout)
+
+
+# ------------------------------------------------------------------- store
+def cmd_store(argv: Sequence[str]) -> int:
+    """Store administration: ``stats``, ``reshard``, ``revalidate``."""
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description="Inspect and migrate a pulse store directory.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    p_stats = sub.add_parser("stats", help="merged + per-shard snapshots as JSON")
+    p_stats.add_argument("--store", required=True)
+
+    p_reshard = sub.add_parser(
+        "reshard", help="migrate the store to a different shard count"
+    )
+    p_reshard.add_argument("--store", required=True)
+    p_reshard.add_argument("--shards", type=int, required=True)
+    p_reshard.add_argument(
+        "--dest", default=None,
+        help="build the new layout here instead of migrating in place",
+    )
+
+    p_reval = sub.add_parser(
+        "revalidate", help="retrain non-converged entries (idle hygiene)"
+    )
+    p_reval.add_argument("--store", required=True)
+    p_reval.add_argument(
+        "--budget", type=int, default=100000,
+        help="iteration budget for the pass",
+    )
+    _add_engine_args(p_reval)
+
+    args = parser.parse_args(argv)
+    try:
+        if args.action == "stats":
+            store = open_store(args.store)
+            print(json.dumps(store_stats_summary(store), sort_keys=True, indent=2))
+            return 0
+        if args.action == "reshard":
+            summary = reshard(args.store, args.shards, dest=args.dest)
+            print(json.dumps(summary, sort_keys=True))
+            return 0
+        # revalidate
+        config, engine = _make_engine(args)
+        store = open_store(args.store)
+        if engine is None:
+            from repro.core.engines import ModelEngine
+
+            engine = ModelEngine(config.physics)
+        from repro.service.service import engine_fingerprint
+
+        store.claim_fingerprint(engine_fingerprint(engine))
+        print(json.dumps(store.revalidate(engine, args.budget), sort_keys=True))
+        return 0
+    except (StoreVersionError, OSError, ValueError) as exc:
+        print(f"repro store: {exc}", file=sys.stderr)
+        return 2
+
+
+def store_stats_summary(store) -> dict:
+    """The ``repro store stats`` payload: merged + per-shard snapshots.
+
+    Counter snapshots (hits/misses/...) are per-instance, so on a freshly
+    opened store they count this command's own accounting only; the
+    durable facts are the entry totals and per-shard convergence split.
+    """
+    entries = [store.peek_key(key) for key in store.keys()]
+    per_shard = store.stats_by_shard()
+    shards = getattr(store, "shards", [store])
+    return {
+        "store": getattr(store, "root", None),
+        "n_shards": len(per_shard),
+        "entries": len(entries),
+        "non_converged": sum(1 for e in entries if e is not None and not e.converged),
+        "merged": store.stats.to_dict(),
+        "shards": [
+            {
+                "shard": index,
+                "entries": len(shard),
+                "stats": stats,
+            }
+            for index, (shard, stats) in enumerate(zip(shards, per_shard))
+        ],
+    }
 
 
 # ------------------------------------------------------------------- batch

@@ -5,12 +5,22 @@ One JSON object per line. Requests name a program or carry inline QASM::
     {"id": "r1", "name": "qft_10"}
     {"id": "r2", "qasm": "OPENQASM 2.0; ...", "program": "mine"}
     {"cmd": "stats"}      # store + service counters
-    {"cmd": "quit"}       # drain and exit
+    {"cmd": "quit"}       # drain and close this connection / exit
+    {"cmd": "shutdown"}   # async server only: stop serving entirely
 
 Responses echo the request id and report coverage, latency, and timing::
 
     {"id": "r1", "ok": true, "program": "qft_10", "coverage_rate": 0.91, ...}
     {"id": "r2", "ok": false, "error": "..."}
+
+The synchronous ``repro serve`` loop answers strictly in request order. The
+asyncio front door (``repro serve --async``) micro-batches requests across
+connections and answers **out of order** — whichever batch finishes first
+responds first — so the request id is the only way to correlate a response
+with its request. A request that arrives without an id is assigned one
+(``auto<n>``, per-server counter, echoed back) via
+:func:`assign_request_id`; async responses additionally carry ``"batch"``,
+the server-side batch sequence number the request was planned in.
 
 Program names resolve against the named benchmark suite plus the ``qft_<n>``
 family (any size); everything else must ship QASM inline.
@@ -78,6 +88,17 @@ def parse_request(line: str) -> CompileRequest:
     )
     if request.name is None and request.qasm is None:
         raise ProtocolError("request needs 'name' or 'qasm' (or 'cmd')")
+    return request
+
+
+def assign_request_id(request: CompileRequest, n: int) -> CompileRequest:
+    """Give an id-less request a server-assigned id (``auto<n>``).
+
+    Out-of-order responders (the async front door) must be able to tag
+    every response; requests that already carry an id keep it untouched.
+    """
+    if not request.id:
+        request.id = f"auto{n}"
     return request
 
 

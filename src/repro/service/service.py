@@ -34,7 +34,7 @@ from repro.service.executor import (
     seed_tag_for,
 )
 from repro.service.planner import BatchPlan, CompilePlanner
-from repro.service.store import PulseStore
+from repro.service.store import StoreBackend
 from repro.utils.config import PipelineConfig
 
 
@@ -110,7 +110,7 @@ class CompileService:
 
     def __init__(
         self,
-        store: PulseStore,
+        store: StoreBackend,
         config: Optional[PipelineConfig] = None,
         engine=None,
         backend="thread",
@@ -127,6 +127,10 @@ class CompileService:
         self.backend = backend
         self.warm = warm
         self.coalescer = GroupCoalescer()
+        # A bounded store must not LRU-evict a key some in-flight solve
+        # claimed: the waiter would lose its warm seed / salvaged entry.
+        # Guards compose, so services sharing a store all stay protected.
+        self.store.add_eviction_guard(self.coalescer.in_flight_keys)
         self.n_batches = 0
 
     # ------------------------------------------------------------- requests

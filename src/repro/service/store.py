@@ -40,14 +40,16 @@ without ``fcntl`` the lock degrades to best-effort, i.e. single-writer.)
 
 from __future__ import annotations
 
+import abc
 import hashlib
 import json
 import os
 import tempfile
 import threading
+import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Collection, Dict, Iterable, List, Optional, Sequence
 
 try:
     import fcntl
@@ -71,6 +73,12 @@ ENTRIES_DIR = "entries"
 
 class StoreVersionError(RuntimeError):
     """Manifest written by an incompatible store layout."""
+
+
+# An eviction guard answers "which keys must not be evicted right now?" —
+# the service wires the coalescer's in-flight claims in so an LRU eviction
+# cannot delete the warm-start seed of a solve that is still running.
+EvictionGuard = Callable[[], Collection[bytes]]
 
 
 def key_digest(key: bytes) -> str:
@@ -124,7 +132,79 @@ def _atomic_write_json(path: str, payload: Dict) -> None:
         raise
 
 
-class PulseStore:
+class StoreBackend(abc.ABC):
+    """What the service layer needs from a pulse store — and nothing more.
+
+    ``CompileService``, the executors, and the front doors talk only to this
+    interface, so one logical store can be a single directory
+    (:class:`PulseStore`), N key-digest-range shards
+    (:class:`repro.service.sharding.ShardedStore`), or — later — a remote
+    store behind the same seam. The contract every backend honors:
+
+    * content addressing by canonical group key (wire-permuted occurrences
+      of a stored group hit);
+    * ``snapshot()`` is an independent, internally consistent
+      :class:`PulseLibrary` copy — the frozen warm-seed source a batch
+      plans and solves against;
+    * ``put`` is durable before it returns; ``flush`` makes deferred
+      manifest state (and recency bumps) visible to future (re)loads;
+    * ``stats`` aggregates hit/miss/put/eviction counters for this
+      instance (a sharded backend merges per-shard counters);
+    * ``claim_fingerprint`` refuses to serve results produced under a
+      different engine/run identity;
+    * ``add_eviction_guard`` lets each owner veto LRU victims (in-flight
+      warm-start seeds must survive until their batch resolves); guards
+      compose — two services over one store both stay protected.
+    """
+
+    stats: StoreStats
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    @abc.abstractmethod
+    def __contains__(self, group: GateGroup) -> bool: ...
+
+    @abc.abstractmethod
+    def keys(self) -> List[bytes]: ...
+
+    @abc.abstractmethod
+    def snapshot(self) -> PulseLibrary: ...
+
+    @abc.abstractmethod
+    def get_key(self, key: bytes) -> Optional[LibraryEntry]: ...
+
+    @abc.abstractmethod
+    def peek_key(self, key: bytes) -> Optional[LibraryEntry]: ...
+
+    @abc.abstractmethod
+    def put(self, entry: LibraryEntry, flush: bool = True) -> None: ...
+
+    @abc.abstractmethod
+    def flush(self) -> None: ...
+
+    @abc.abstractmethod
+    def coverage(self, groups: Sequence[GateGroup]) -> CoverageReport: ...
+
+    @abc.abstractmethod
+    def claim_fingerprint(self, fingerprint: str) -> None: ...
+
+    @abc.abstractmethod
+    def add_eviction_guard(self, guard: EvictionGuard) -> None: ...
+
+    @abc.abstractmethod
+    def revalidate(self, engine, budget: int) -> Dict[str, int]: ...
+
+    def get(self, group: GateGroup) -> Optional[LibraryEntry]:
+        """Entry for ``group`` (hit/miss counted, recency bumped)."""
+        return self.get_key(group.key())
+
+    def stats_by_shard(self) -> List[Dict[str, float]]:
+        """Per-shard stats snapshots; a single directory is one 'shard'."""
+        return [self.stats.to_dict()]
+
+
+class PulseStore(StoreBackend):
     """Disk-backed :class:`PulseLibrary` with stats and bounded size.
 
     The in-memory library is the source of truth between ``put`` calls; disk
@@ -142,6 +222,7 @@ class PulseStore:
         root: str,
         max_entries: Optional[int] = None,
         perf: Optional[PerfRecorder] = None,
+        stat_prefix: str = "store.",
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1")
@@ -149,6 +230,11 @@ class PulseStore:
         self.max_entries = max_entries
         self.stats = StoreStats()
         self.perf = recorder_or_null(perf)
+        # Shards of one logical store namespace their perf names
+        # ("store.shard3.hits") so `repro perf` shows the per-shard split.
+        self.stat_prefix = stat_prefix
+        # EvictionGuard callables, bound methods wrapped in WeakMethod
+        self._eviction_guards: List[object] = []
         self._lock = threading.RLock()
         self._library = PulseLibrary()
         self._recency: Dict[bytes, int] = {}  # key -> logical clock of last use
@@ -198,7 +284,7 @@ class PulseStore:
     def _load_manifest(self) -> None:
         if not os.path.exists(self.manifest_path):
             return
-        with self.perf.stage("store.read"):
+        with self.perf.stage(self.stat_prefix + "read"):
             try:
                 with open(self.manifest_path) as handle:
                     manifest = json.load(handle)
@@ -288,7 +374,7 @@ class PulseStore:
             payload = {"version": MANIFEST_VERSION, "entries": entries}
             if self._fingerprint is not None:
                 payload["fingerprint"] = self._fingerprint
-            with self.perf.stage("store.write"):
+            with self.perf.stage(self.stat_prefix + "write"):
                 _atomic_write_json(self.manifest_path, payload)
             # A tombstone is spent once recorded: keeping it would delete a
             # concurrent writer's later re-put of the same key on the next
@@ -339,9 +425,26 @@ class PulseStore:
             copy.merge(self._library)
             return copy
 
-    def get(self, group: GateGroup) -> Optional[LibraryEntry]:
-        """Entry for ``group`` (hit/miss counted, recency bumped)."""
-        return self.get_key(group.key())
+    def add_eviction_guard(self, guard: EvictionGuard) -> None:
+        """Protect a dynamic key set from LRU eviction (see module doc).
+
+        Guards accumulate — every service sharing this store instance
+        registers its own, and a victim must be clear of all of them. A
+        bound method (the usual case: a coalescer's ``in_flight_keys``) is
+        held through a weak reference, so a service that is garbage
+        collected does not pin its coalescer or slow eviction forever;
+        plain functions/lambdas are held strongly.
+        """
+        with self._lock:
+            try:
+                self._eviction_guards.append(weakref.WeakMethod(guard))
+            except TypeError:  # not a bound method
+                self._eviction_guards.append(guard)
+
+    def peek_key(self, key: bytes) -> Optional[LibraryEntry]:
+        """Lookup without hit/miss accounting or a recency bump (planning)."""
+        with self._lock:
+            return self._library.lookup_key(key)
 
     def get_key(self, key: bytes) -> Optional[LibraryEntry]:
         """Entry by raw canonical key (same stats accounting as ``get``)."""
@@ -349,10 +452,10 @@ class PulseStore:
             entry = self._library.lookup_key(key)
             if entry is None:
                 self.stats.misses += 1
-                self.perf.count("store.misses")
+                self.perf.count(self.stat_prefix + "misses")
                 return None
             self.stats.hits += 1
-            self.perf.count("store.hits")
+            self.perf.count(self.stat_prefix + "hits")
             self._touch(key)
             return entry
 
@@ -368,16 +471,17 @@ class PulseStore:
         """
         key = entry.group.key()
         with self._lock, self._disk_lock():
-            with self.perf.stage("store.write"):
+            with self.perf.stage(self.stat_prefix + "write"):
                 _atomic_write_json(self._entry_path(key), entry_to_dict(entry))
             self._library.add(entry)
             self._tombstones.discard(key_digest(key))
             self._touch(key)
             self.stats.puts += 1
-            self.perf.count("store.puts")
+            self.perf.count(self.stat_prefix + "puts")
             if self.max_entries is not None:
                 while len(self._library) > self.max_entries:
-                    self._evict_lru(protect=key)
+                    if not self._evict_lru(protect=key):
+                        break  # everything left is in-flight; stay over bound
             if flush:
                 self.flush()
 
@@ -386,15 +490,85 @@ class PulseStore:
         with self._lock:
             return self._library.coverage(groups)
 
+    def revalidate(self, engine, budget: int) -> Dict[str, int]:
+        """Retrain non-converged entries until ``budget`` iterations are spent.
+
+        The idle-time hygiene pass: entries whose solve never reached the
+        target infidelity are re-run (warm-started from their own stored
+        pulse, same deterministic seed tag as the original service solve)
+        against ``engine`` — typically one configured with a bigger
+        iteration budget than the serving path. Each retrain replaces the
+        stored entry; ``budget`` caps the total iterations spent so the
+        pass fits in an idle window. Returns a summary dict
+        (``retrained``/``converged``/``iterations``/``remaining``).
+        """
+        from repro.core.engines import compile_with_engine
+        from repro.service.executor import seed_tag_for
+
+        with self._lock:
+            candidates = sorted(
+                (e for e in self._library.entries() if not e.converged),
+                key=lambda e: key_digest(e.group.key()),
+            )
+        spent = retrained = converged = 0
+        for entry in candidates:
+            if spent >= budget:
+                break
+            record = compile_with_engine(
+                engine,
+                entry.group,
+                warm_pulse=entry.pulse,
+                warm_source=entry.group,
+                seed_tag=seed_tag_for(entry.group),
+            )
+            spent += record.iterations
+            retrained += 1
+            if record.converged:
+                converged += 1
+            self.put(
+                LibraryEntry(
+                    group=entry.group,
+                    pulse=record.pulse,
+                    latency=record.latency,
+                    iterations=entry.iterations + record.iterations,
+                    converged=record.converged,
+                ),
+                flush=False,
+            )
+        if retrained:
+            self.flush()
+        return {
+            "retrained": retrained,
+            "converged": converged,
+            "iterations": spent,
+            "remaining": len(candidates) - retrained,
+        }
+
     # ----------------------------------------------------------------- impl
     def _touch(self, key: bytes) -> None:
         self._clock += 1
         self._recency[key] = self._clock
 
-    def _evict_lru(self, protect: bytes) -> None:
-        victims = [k for k in self._library.keys() if k != protect]
+    def _evict_lru(self, protect: bytes) -> bool:
+        """Evict the coldest unprotected key; False when none is evictable.
+
+        Protected means the entry being written *or* any key the eviction
+        guard reports in flight: evicting a claimed key mid-batch would
+        delete the warm-start seed (and the just-salvaged entry) of a solve
+        another batch is still waiting on.
+        """
+        protected = {protect}
+        alive = []
+        for item in self._eviction_guards:
+            guard = item() if isinstance(item, weakref.WeakMethod) else item
+            if guard is None:
+                continue  # owner collected: drop the stale guard
+            alive.append(item)
+            protected.update(guard())
+        self._eviction_guards = alive
+        victims = [k for k in self._library.keys() if k not in protected]
         if not victims:
-            return
+            return False
         victim = min(victims, key=lambda k: self._recency.get(k, 0))
         self._library.remove(victim)
         self._recency.pop(victim, None)
@@ -403,4 +577,5 @@ class PulseStore:
         if os.path.exists(path):
             os.unlink(path)
         self.stats.evictions += 1
-        self.perf.count("store.evictions")
+        self.perf.count(self.stat_prefix + "evictions")
+        return True

@@ -196,3 +196,137 @@ def test_snapshot_is_independent(tmp_path):
     store.put(_entry(0.2))
     assert len(snap) == 1
     assert len(store.library()) == 2
+
+
+def test_eviction_guard_protects_in_flight_keys(tmp_path):
+    """Bugfix: keys claimed in the coalescer (in-flight solves) must not be
+    LRU-evicted mid-batch — their warm seed / salvaged entry is live."""
+    protected = {_group(0.1).key()}
+    store = PulseStore(str(tmp_path / "s"), max_entries=2)
+    store.add_eviction_guard(lambda: protected)
+    store.put(_entry(0.1))
+    store.put(_entry(0.2))
+    store.get(_group(0.1))  # 0.2 is the LRU candidate — but 0.1 is guarded
+    protected.add(_group(0.2).key())
+    store.put(_entry(0.3))  # nothing evictable: both residents are claimed
+    assert store.stats.evictions == 0
+    assert len(store) == 3  # temporarily over the bound, by design
+    assert store.get(_group(0.1)) is not None
+    assert store.get(_group(0.2)) is not None
+
+    protected.clear()  # claims resolved: the next put evicts down again
+    store.put(_entry(0.4))
+    assert store.stats.evictions == 2
+    assert len(store) == 2
+
+
+def test_eviction_guard_falls_back_to_plain_lru(tmp_path):
+    store = PulseStore(str(tmp_path / "s"), max_entries=2)
+    store.add_eviction_guard(set)  # empty guard == previous behavior
+    store.put(_entry(0.1))
+    store.put(_entry(0.2))
+    store.get(_group(0.1))
+    store.put(_entry(0.3))
+    assert store.stats.evictions == 1
+    assert store.get(_group(0.2)) is None
+
+
+def test_eviction_guards_compose(tmp_path):
+    """Two services over one store object each register a guard; a victim
+    must be clear of every guard, not just the latest one."""
+    store = PulseStore(str(tmp_path / "s"), max_entries=2)
+    store.add_eviction_guard(lambda: {_group(0.1).key()})
+    store.add_eviction_guard(lambda: {_group(0.2).key()})  # must not replace
+    store.put(_entry(0.1))
+    store.put(_entry(0.2))
+    store.put(_entry(0.3))
+    assert store.stats.evictions == 0  # both residents guarded
+    assert store.get(_group(0.1)) is not None
+    assert store.get(_group(0.2)) is not None
+
+
+def test_eviction_guard_from_dead_owner_expires(tmp_path):
+    """A bound-method guard must not pin its owner forever: once the owner
+    is garbage collected, eviction proceeds as if the guard were gone."""
+    import gc
+
+    class Owner:
+        def keys(self):
+            return {_group(0.1).key(), _group(0.2).key()}
+
+    store = PulseStore(str(tmp_path / "s"), max_entries=2)
+    owner = Owner()
+    store.add_eviction_guard(owner.keys)
+    store.put(_entry(0.1))
+    store.put(_entry(0.2))
+    store.put(_entry(0.3))
+    assert store.stats.evictions == 0  # guard active while the owner lives
+    del owner
+    gc.collect()
+    store.put(_entry(0.4))
+    assert store.stats.evictions >= 2  # stale guard dropped, LRU resumes
+    assert len(store) == 2
+
+
+class _FlakyEngine:
+    """ModelEngine-shaped; converges only when asked nicely."""
+
+    name = "flaky"
+    iterations = None  # compile_with_engine dispatches on this attribute
+
+    def __init__(self, converge: bool, cost: int = 5):
+        self.converge = converge
+        self.cost = cost
+        self.calls = 0
+
+    def compile_group(self, group, warm_pulse=None, warm_source=None, seed_tag=""):
+        from repro.core.engines import CompileRecord
+
+        self.calls += 1
+        assert warm_pulse is not None  # retrains warm-start from the store
+        assert seed_tag.startswith("svc:")
+        return CompileRecord(
+            latency=33.0,
+            iterations=self.cost,
+            converged=self.converge,
+            pulse=warm_pulse,
+        )
+
+
+def test_revalidate_retrains_only_nonconverged(tmp_path):
+    root = str(tmp_path / "s")
+    store = PulseStore(root)
+    good = _entry(0.1)
+    store.put(good)
+    bad = _entry(0.2)
+    bad.converged = False
+    store.put(bad)
+    engine = _FlakyEngine(converge=True)
+    summary = store.revalidate(engine, budget=100)
+    assert engine.calls == 1  # the converged entry is left alone
+    assert summary == {
+        "retrained": 1, "converged": 1, "iterations": 5, "remaining": 0,
+    }
+    # the retrain is durable and accumulates the extra compile cost
+    reloaded = PulseStore(root)
+    got = reloaded.get(_group(0.2))
+    assert got.converged is True
+    assert got.iterations == bad.iterations + 5
+    assert got.latency == 33.0
+    # untouched entry is untouched
+    assert reloaded.get(_group(0.1)).latency == 40.0
+
+
+def test_revalidate_budget_and_still_failing_entries(tmp_path):
+    store = PulseStore(str(tmp_path / "s"))
+    for angle in (0.1, 0.2, 0.3):
+        entry = _entry(angle)
+        entry.converged = False
+        store.put(entry)
+    engine = _FlakyEngine(converge=False, cost=5)
+    summary = store.revalidate(engine, budget=10)
+    assert summary["retrained"] == 2  # spending stops once >= budget
+    assert summary["converged"] == 0
+    assert summary["remaining"] == 1
+    # entries stay non-converged, so a later pass retries them
+    assert store.revalidate(engine, budget=1000)["retrained"] == 3
