@@ -14,9 +14,16 @@ Regression points (baselines in PERF.md):
   store-seeded determinism invariant); the wall-clock assertion only fires
   on machines with >= 4 cores, the modelled (machine-independent) speedup
   is asserted everywhere.
+* ``--remote``: the same suite through the full distributed fabric — a
+  ``StoreServer`` + ``RemoteStore`` for persistence and a
+  ``RemoteExecutor`` + two workers for solving, all over loopback TCP —
+  against the all-local baseline. Quantifies the wire tax (PERF.md row)
+  and asserts the warm remote run is a 100% remote-store hit with pulses
+  bit-identical to the local run.
 
 Run:  pytest benchmarks/bench_service_throughput.py --benchmark-only -s
       pytest benchmarks/bench_service_throughput.py --benchmark-only -s --shards 8
+      pytest benchmarks/bench_service_throughput.py --benchmark-only -s --remote
 """
 
 import asyncio
@@ -194,6 +201,95 @@ def test_service_async_clients(benchmark, tmp_path, shards):
         f"{async_solves} solves vs {sequential_solves} sequential-cold, "
         f"{len({r['batch'] for r in responses})} batches, "
         f"wall {async_wall:.2f}s vs {sequential_wall:.2f}s line-at-a-time"
+    )
+
+
+def test_service_remote_fabric(benchmark, tmp_path, remote_mode):
+    """--remote: suite batch through store server + worker fabric (loopback).
+
+    The PERF.md regression point for the distributed path: cold batch via
+    RemoteStore + RemoteExecutor (2 workers) vs the all-local thread
+    baseline, plus the warm remote pass (pure wire reads). The wire tax is
+    the cold overhead over local; correctness gates are bit-identical
+    stored pulses and a zero-solve warm run.
+    """
+    import threading
+
+    from repro.service import RemoteExecutor, RemoteStore, StoreServer, worker_loop
+
+    programs = _suite_programs()
+    config = PipelineConfig(policy_name="map2b4l")
+
+    t0 = time.perf_counter()
+    local = CompileService(
+        PulseStore(str(tmp_path / "local")), config, backend="thread",
+        n_workers=2,
+    )
+    local_batch = local.submit_batch(programs)
+    local_wall = time.perf_counter() - t0
+
+    served = PulseStore(str(tmp_path / "served"))
+    server = StoreServer(served).start()
+    executor = RemoteExecutor()
+    for _ in range(2):
+        threading.Thread(
+            target=worker_loop,
+            args=(f"remote://127.0.0.1:{executor.port}",),
+            daemon=True,
+        ).start()
+
+    def remote_cold():
+        service = CompileService(
+            RemoteStore(f"remote://{server.address}"),
+            config,
+            backend=executor,
+            n_workers=2,
+        )
+        return service.submit_batch(programs)
+
+    try:
+        t0 = time.perf_counter()
+        cold = run_once(benchmark, remote_cold)
+        cold_wall = time.perf_counter() - t0
+        assert cold.n_compiled == local_batch.n_compiled
+        assert executor.n_local_fallback == 0
+
+        t0 = time.perf_counter()
+        warm = CompileService(
+            RemoteStore(f"remote://{server.address}"),
+            config,
+            backend=executor,
+            n_workers=2,
+        ).submit_batch(programs)
+        warm_wall = time.perf_counter() - t0
+        assert warm.n_compiled == 0
+        assert warm.coverage_rate == 1.0
+        assert warm.store_stats["puts"] == 0
+        assert warm.store_stats["degraded"] == 0
+
+        # distribution never changes bytes
+        local_pulses = {
+            k: e.pulse.amplitudes.tobytes()
+            for k in local.store.keys()
+            for e in [local.store.peek_key(k)]
+            if e.pulse is not None
+        }
+        remote_pulses = {
+            k: e.pulse.amplitudes.tobytes()
+            for k in served.keys()
+            for e in [served.peek_key(k)]
+            if e.pulse is not None
+        }
+        assert remote_pulses == local_pulses
+    finally:
+        executor.close()
+        server.stop()
+    print(
+        f"\nremote fabric ({len(programs)} programs, 2 workers, loopback): "
+        f"cold {cold_wall:.2f}s vs local {local_wall:.2f}s "
+        f"(wire tax {cold_wall - local_wall:+.2f}s), "
+        f"warm-remote {warm_wall:.2f}s, "
+        f"{cold.n_compiled} solves dispatched over {executor.n_dispatched} parts"
     )
 
 

@@ -19,11 +19,25 @@ def pytest_addoption(parser):
         help="shard count for the service-throughput store benches "
              "(bench_service_throughput.py)",
     )
+    parser.addoption(
+        "--remote",
+        action="store_true",
+        default=False,
+        help="run the remote-fabric service bench (store server + worker "
+             "fabric over loopback TCP; bench_service_throughput.py)",
+    )
 
 
 @pytest.fixture
 def shards(request):
     return request.config.getoption("--shards")
+
+
+@pytest.fixture
+def remote_mode(request):
+    if not request.config.getoption("--remote"):
+        pytest.skip("remote-fabric bench runs with --remote")
+    return True
 
 
 def run_once(benchmark, fn, *args, **kwargs):

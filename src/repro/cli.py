@@ -13,6 +13,9 @@ Usage::
     python -m repro serve --store /tmp/pulses --async --port 0  # asyncio server
     python -m repro store stats --store /tmp/pulses        # store admin
     python -m repro store reshard --store /tmp/pulses --shards 4
+    python -m repro store serve --root /tmp/pulses --port 7777  # store server
+    python -m repro serve --store remote://db:7777 --workers remote --async
+    python -m repro worker --connect solver:7778           # remote solver
 """
 
 from __future__ import annotations
@@ -65,12 +68,20 @@ def _run(name: str, mode: str) -> None:
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Service subcommands parse their own flags (repro serve/batch --store ...).
-    if argv and argv[0] in ("serve", "batch", "store"):
-        from repro.service.frontdoor import cmd_batch, cmd_serve, cmd_store
+    if argv and argv[0] in ("serve", "batch", "store", "worker"):
+        from repro.service.frontdoor import (
+            cmd_batch,
+            cmd_serve,
+            cmd_store,
+            cmd_worker,
+        )
 
-        handler = {"serve": cmd_serve, "batch": cmd_batch, "store": cmd_store}[
-            argv[0]
-        ]
+        handler = {
+            "serve": cmd_serve,
+            "batch": cmd_batch,
+            "store": cmd_store,
+            "worker": cmd_worker,
+        }[argv[0]]
         return handler(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -79,7 +90,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), or 'all', 'list', 'perf', "
-             "'serve', 'batch', 'store'",
+             "'serve', 'batch', 'store', 'worker'",
     )
     parser.add_argument(
         "--mode",
@@ -101,6 +112,7 @@ def main(argv=None) -> int:
         print("serve")
         print("batch")
         print("store")
+        print("worker")
         return 0
     if args.experiment == "perf":
         from repro.perf.hotpaths import run_perf

@@ -136,6 +136,61 @@ def service_report() -> PerfReport:
         )
 
 
+def remote_report() -> PerfReport:
+    """Per-hop wire timings of the distributed fabric, loopback edition.
+
+    Stands up the whole remote path in one process — a
+    :class:`~repro.service.storeserver.StoreServer` over a temp store, a
+    :class:`~repro.service.remote.RemoteStore` client, a
+    :class:`~repro.service.remote.RemoteExecutor` with one in-process
+    worker — and runs a two-program batch through it. The interesting
+    stages: ``store.remote.rpc`` (client-observed store round trips, with
+    ``hits``/``misses``/``puts`` counters) and ``execute.worker<k>.wire``
+    (part round trip minus worker compute, i.e. serialization +
+    transport). Loopback TCP, so the numbers are the protocol floor — a
+    real deployment adds its network on top.
+    """
+    import threading
+
+    from repro.service import (
+        CompileService,
+        PulseStore,
+        RemoteExecutor,
+        RemoteStore,
+        StoreServer,
+        worker_loop,
+    )
+    from repro.workloads import qft
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as root:
+        server = StoreServer(PulseStore(root)).start()
+        executor = RemoteExecutor()
+        worker = threading.Thread(
+            target=worker_loop,
+            args=(f"remote://127.0.0.1:{executor.port}",),
+            daemon=True,
+        )
+        worker.start()
+        try:
+            store_perf = PerfRecorder()
+            store = RemoteStore(f"remote://{server.address}", perf=store_perf)
+            service = CompileService(store, backend=executor, n_workers=2)
+            batch = service.submit_batch([qft(4), qft(5)])
+            report = batch.perf or PerfReport(label="remote (no perf recorded)")
+            merged = PerfRecorder()
+            merged.merge_report(report)
+            merged.merge_report(store_perf.report())
+            return merged.report(
+                "remote fabric: qft_4 + qft_5, store server + 1 worker "
+                "over loopback TCP"
+            )
+        finally:
+            executor.close()
+            server.stop()
+
+
 def run_perf(as_json: bool = False) -> str:
     """The ``repro perf`` entry point: all hot-path reports, rendered."""
     reports = [
@@ -143,6 +198,7 @@ def run_perf(as_json: bool = False) -> str:
         simgraph_report(),
         pipeline_report(),
         service_report(),
+        remote_report(),
     ]
     if as_json:
         import json

@@ -23,6 +23,20 @@ flock, LRU bound, and stats, so writers to different key ranges never
 serialize on one lock. :func:`~repro.service.sharding.open_store`
 auto-detects the layout.
 
+Both layouts also serve over the wire: ``repro store serve`` wraps any
+store in a JSON-lines TCP protocol
+(:class:`~repro.service.storeserver.StoreServer`), and
+:class:`~repro.service.remote.RemoteStore` is the client-side
+``StoreBackend`` (``--store remote://host:port``; a comma list of hosts
+becomes a :class:`ShardedStore` routing table, one digest range per
+host). Wire failures degrade to misses — a dead store server makes the
+service slower, never wrong. Solving distributes the same way:
+``--workers remote`` dispatches each batch's parts to connected
+``repro worker`` processes (:class:`~repro.service.remote.RemoteExecutor`),
+with disconnect-triggered part reassignment and a local fallback, and the
+store-snapshot-seeded warm starts keep remote pulses bit-identical to the
+serial executor's.
+
 Entries are content-addressed by the *canonical group key* — the group
 unitary modulo global phase and wire permutation — so a stored pulse serves
 every occurrence of the group, including wire-permuted ones (the lookup
@@ -96,6 +110,12 @@ from repro.service.executor import (
     make_backend,
 )
 from repro.service.planner import BatchPlan, CompilePlanner, WorkerPlan
+from repro.service.remote import (
+    RemoteExecutor,
+    RemoteStore,
+    RemoteUnavailable,
+    worker_loop,
+)
 from repro.service.service import BatchReport, CompileService, RequestReport
 from repro.service.sharding import ShardedStore, open_store, reshard
 from repro.service.store import (
@@ -104,6 +124,7 @@ from repro.service.store import (
     StoreStats,
     StoreVersionError,
 )
+from repro.service.storeserver import StoreServer
 
 __all__ = [
     "AsyncCompileServer",
@@ -114,10 +135,14 @@ __all__ = [
     "GroupCoalescer",
     "ProcessBackend",
     "PulseStore",
+    "RemoteExecutor",
+    "RemoteStore",
+    "RemoteUnavailable",
     "RequestReport",
     "SerialBackend",
     "ShardedStore",
     "StoreBackend",
+    "StoreServer",
     "StoreStats",
     "StoreVersionError",
     "ThreadBackend",
@@ -126,4 +151,5 @@ __all__ = [
     "make_backend",
     "open_store",
     "reshard",
+    "worker_loop",
 ]

@@ -88,6 +88,17 @@ class _Client:
                 print(line, file=self._stdout, flush=True)
 
 
+def _salvage_request_id(line: str) -> str:
+    """The ``id`` of a rejected line, when the JSON was readable enough."""
+    try:
+        raw = json.loads(line)
+    except ValueError:
+        return ""
+    if isinstance(raw, dict) and raw.get("id"):
+        return str(raw["id"])
+    return ""
+
+
 @dataclass
 class _Pending:
     """One compile request waiting for (or riding in) a batch."""
@@ -141,13 +152,24 @@ class AsyncCompileServer:
         try:
             request = parse_request(line)
         except ProtocolError as exc:
-            await client.send(error_response("", str(exc)))
+            # The error response must stay correlatable for a client
+            # reading out-of-order responses: echo the id the bad line
+            # carried if it was readable at all, else assign a server id
+            # (an empty id would be attributable to no request).
+            request_id = _salvage_request_id(line)
+            if not request_id:
+                self._next_id += 1
+                request_id = f"auto{self._next_id}"
+            await client.send(error_response(request_id, str(exc)))
             return
         if request.is_command:
             await self._handle_command(request, client)
             return
-        self._next_id += 1
-        assign_request_id(request, self._next_id)
+        if not request.id:
+            # Bump only when an id is actually assigned, so auto-id
+            # numbering is dense and matches the auto-assigned count.
+            self._next_id += 1
+            assign_request_id(request, self._next_id)
         try:
             circuit = request_circuit(request)
         except Exception as exc:  # bad program name / malformed QASM

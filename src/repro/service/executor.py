@@ -1,11 +1,17 @@
 """Worker-pool execution of a batch plan, plus in-flight coalescing.
 
-Three backends behind one interface (mirroring the ``GrapeEngine`` /
+Three local backends behind one interface (mirroring the ``GrapeEngine`` /
 ``ModelEngine`` split): ``serial`` runs parts in the calling thread,
 ``thread`` uses a ``ThreadPoolExecutor`` (GRAPE spends its time in BLAS,
 which releases the GIL), ``process`` uses a ``ProcessPoolExecutor`` with
 picklable per-part payloads (module-level worker function, engine shipped by
-pickle, records shipped back).
+pickle, records shipped back). The same ``map_parts`` seam also crosses
+hosts: :class:`repro.service.remote.RemoteExecutor` dispatches the parts
+to connected ``repro worker`` processes — any object with ``map_parts``
+passes straight through :func:`make_backend`, so the service never knows
+where its solves ran. Because every :class:`GroupTask` carries its warm
+seed resolved from the batch snapshot (see below), where a part runs can
+never change what it produces.
 
 Warm-start modes
 ----------------
@@ -190,7 +196,12 @@ class ProcessBackend:
 
 
 def make_backend(spec, n_workers: int):
-    """'serial' | 'thread' | 'process' | an object with ``map_parts``."""
+    """'serial' | 'thread' | 'process' | an object with ``map_parts``.
+
+    A remote fabric is passed as the object itself (one long-lived
+    :class:`~repro.service.remote.RemoteExecutor` serves every batch — a
+    string spec here would leak a fresh listener per batch).
+    """
     if hasattr(spec, "map_parts"):
         return spec
     if spec == "serial":
@@ -199,7 +210,10 @@ def make_backend(spec, n_workers: int):
         return ThreadBackend(n_workers)
     if spec == "process":
         return ProcessBackend(n_workers)
-    raise ValueError(f"unknown backend {spec!r}; have serial/thread/process")
+    raise ValueError(
+        f"unknown backend {spec!r}; have serial/thread/process, or pass "
+        f"an object with map_parts (e.g. a RemoteExecutor)"
+    )
 
 
 # ------------------------------------------------------------ pool executor

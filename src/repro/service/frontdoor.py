@@ -13,10 +13,17 @@ or directories of them) as *one* batch: groups dedupe across all programs,
 the shared MST is cut across the worker pool, and the store ends warm. Run
 it twice against the same store and the second run solves nothing.
 
-``repro store`` administers a store directory: ``stats`` dumps merged and
-per-shard counter snapshots plus entry/convergence counts as JSON;
-``reshard`` migrates between shard counts (``--shards``);
-``revalidate`` retrains non-converged entries within an iteration budget.
+``repro store`` administers a store directory: ``serve`` exposes it over
+TCP for ``--store remote://host:port`` clients (the distributed-store leg
+of the fabric); ``stats`` dumps merged and per-shard counter snapshots
+plus entry/convergence counts as JSON; ``reshard`` migrates between shard
+counts (``--shards``); ``revalidate`` retrains non-converged entries
+within an iteration budget.
+
+``repro worker --connect host:port`` is the other leg: a solver process
+for a service started with ``--workers remote``, which dispatches each
+batch's parts across every connected worker and reassigns a part whose
+worker disconnects mid-solve.
 
 All data-path commands take ``--shards``: omitted, the store layout is
 auto-detected; given, it must match (a mismatch fails loudly rather than
@@ -57,17 +64,34 @@ def _make_engine(args):
     return config, engine
 
 
-def _make_service(args) -> CompileService:
+def _make_service(args, announce: IO[str] = sys.stdout) -> CompileService:
     config, engine = _make_engine(args)
     store = open_store(
         args.store, shards=args.shards, max_entries=args.max_entries
     )
+    backend = args.backend
+    n_workers: "int | None"
+    if str(args.workers) == "remote":
+        # Remote worker fabric: listen for `repro worker --connect` peers
+        # and dispatch parts to them; the bound address is announced as a
+        # JSON line so workers can be pointed at it by scripts. `repro
+        # batch --json` owns stdout for its report, so it announces on
+        # stderr instead.
+        from repro.service.remote import RemoteExecutor
+
+        backend = RemoteExecutor(
+            host=args.worker_host, port=args.worker_port
+        )
+        n_workers = None  # partition count falls back to the config default
+        print(json.dumps({"workers": backend.address}), file=announce, flush=True)
+    else:
+        n_workers = args.workers
     return CompileService(
         store,
         config=config,
         engine=engine,
-        backend=args.backend,
-        n_workers=args.workers,
+        backend=backend,
+        n_workers=n_workers,
     )
 
 
@@ -79,11 +103,41 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--policy", default="map2b4l")
 
 
+def _workers_arg(value: str):
+    """``--workers`` takes a pool size or the literal ``remote``."""
+    if value == "remote":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a worker count or 'remote', got {value!r}"
+        )
+
+
 def _add_service_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--store", required=True, help="store directory")
-    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--store", required=True,
+        help="store directory, remote://host:port of a `repro store serve`, "
+             "or a comma list of remote:// hosts (digest-range routing "
+             "table, one shard per host)",
+    )
+    parser.add_argument(
+        "--workers", type=_workers_arg, default=4,
+        help="worker pool size, or 'remote' to dispatch parts to "
+             "`repro worker --connect` processes (overrides --backend; "
+             "the listening address is announced as a JSON line)",
+    )
     parser.add_argument(
         "--backend", choices=("serial", "thread", "process"), default="thread"
+    )
+    parser.add_argument(
+        "--worker-host", default="127.0.0.1",
+        help="with --workers remote: interface the worker fabric listens on",
+    )
+    parser.add_argument(
+        "--worker-port", type=int, default=0,
+        help="with --workers remote: fabric port (0 picks a free one)",
     )
     _add_engine_args(parser)
     parser.add_argument(
@@ -223,14 +277,78 @@ def cmd_serve(argv: Sequence[str]) -> int:
     return serve_loop(service, sys.stdin, sys.stdout)
 
 
+# ------------------------------------------------------------------ worker
+def cmd_worker(argv: Sequence[str]) -> int:
+    """``repro worker --connect host:port``: one remote solver process.
+
+    Dials a ``--workers remote`` service's worker fabric, runs the parts
+    it is handed (warm seeds travel with the tasks, so pulses match the
+    serial executor bit for bit), and exits 0 when the fabric hangs up —
+    printing how many parts it handled as a JSON line.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description="Remote solver worker for a `repro serve/batch "
+                    "--workers remote` fabric.",
+    )
+    parser.add_argument(
+        "--connect", required=True,
+        help="fabric address: host:port (or remote://host:port) announced "
+             "by the service's {'workers': ...} line",
+    )
+    parser.add_argument(
+        "--max-parts", type=int, default=None,
+        help="exit after this many parts (testing aid)",
+    )
+    parser.add_argument(
+        "--connect-timeout", type=float, default=30.0,
+        help="seconds to keep retrying the initial connection",
+    )
+    args = parser.parse_args(argv)
+    from repro.service.remote import worker_loop
+
+    try:
+        handled = worker_loop(
+            args.connect,
+            max_parts=args.max_parts,
+            connect_timeout_s=args.connect_timeout,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"repro worker: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps({"parts": handled}), flush=True)
+    return 0
+
+
 # ------------------------------------------------------------------- store
 def cmd_store(argv: Sequence[str]) -> int:
-    """Store administration: ``stats``, ``reshard``, ``revalidate``."""
+    """Store administration: ``serve``, ``stats``, ``reshard``, ``revalidate``."""
     parser = argparse.ArgumentParser(
         prog="repro store",
-        description="Inspect and migrate a pulse store directory.",
+        description="Inspect, serve, and migrate a pulse store directory.",
     )
     sub = parser.add_subparsers(dest="action", required=True)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="expose this store over TCP for remote:// clients "
+             "(JSON-lines protocol, see service/storeserver.py)",
+    )
+    p_serve.add_argument(
+        "--root", "--store", dest="root", required=True,
+        help="store directory to serve (layout auto-detected)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="0 picks a free port; the bound address is announced as the "
+             "first stdout line",
+    )
+    p_serve.add_argument("--shards", type=int, default=None)
+    p_serve.add_argument(
+        "--max-entries", type=int, default=None,
+        help="LRU-bound the served store (the bound lives server-side)",
+    )
 
     p_stats = sub.add_parser("stats", help="merged + per-shard snapshots as JSON")
     p_stats.add_argument("--store", required=True)
@@ -257,6 +375,21 @@ def cmd_store(argv: Sequence[str]) -> int:
 
     args = parser.parse_args(argv)
     try:
+        if args.action == "serve":
+            from repro.service.storeserver import StoreServer
+
+            store = open_store(
+                args.root, shards=args.shards, max_entries=args.max_entries
+            )
+            server = StoreServer(store, host=args.host, port=args.port).start()
+            print(json.dumps({"serving": server.address}), flush=True)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.stop()
+            return 0
         if args.action == "stats":
             store = open_store(args.store)
             print(json.dumps(store_stats_summary(store), sort_keys=True, indent=2))
@@ -386,7 +519,8 @@ def cmd_batch(argv: Sequence[str]) -> int:
 
     try:
         programs = collect_programs(args.programs)
-        service = _make_service(args)
+        # announce on stderr: with --json, stdout is one JSON document
+        service = _make_service(args, announce=sys.stderr)
     except (ProtocolError, OSError, StoreVersionError) as exc:
         print(f"repro batch: {exc}", file=sys.stderr)
         return 2

@@ -23,7 +23,9 @@ with its request. A request that arrives without an id is assigned one
 the server-side batch sequence number the request was planned in.
 
 Program names resolve against the named benchmark suite plus the ``qft_<n>``
-family (any size); everything else must ship QASM inline.
+family (n bounded to 1..64 — an unbounded size would let one request line
+stall the server in circuit construction); everything else must ship QASM
+inline.
 """
 
 from __future__ import annotations
@@ -59,16 +61,28 @@ class CompileRequest:
         return self.cmd is not None
 
 
+#: Largest ``qft_<n>`` a request line may name. Circuit construction cost
+#: grows superlinearly in n, so an unchecked size is a one-line denial of
+#: service (``qft_999999999`` would stall the server before any solve);
+#: the bound is validated *before* any work is done.
+QFT_MAX_QUBITS = 64
+
+
 def resolve_program(name: str) -> Circuit:
-    """Named workload: the benchmark suite plus ``qft_<n>`` of any size."""
+    """Named workload: the benchmark suite plus ``qft_<n>``, n in 1..64."""
     if name in NAMED_BENCHMARKS:
         return build_named(name)
     match = _QFT_RE.match(name)
     if match:
-        return qft(int(match.group(1)), name=name)
+        n = int(match.group(1))
+        if not 1 <= n <= QFT_MAX_QUBITS:
+            raise ProtocolError(
+                f"qft size {n} out of range 1..{QFT_MAX_QUBITS}"
+            )
+        return qft(n, name=name)
     raise ProtocolError(
         f"unknown program {name!r}; named programs are "
-        f"{sorted(NAMED_BENCHMARKS)} or qft_<n>"
+        f"{sorted(NAMED_BENCHMARKS)} or qft_<n> (n in 1..{QFT_MAX_QUBITS})"
     )
 
 

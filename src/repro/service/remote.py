@@ -1,0 +1,740 @@
+"""Remote store client and remote worker fabric.
+
+Two halves, cashing in the two extension seams the service layer left:
+
+* :class:`RemoteStore` — a :class:`~repro.service.store.StoreBackend` that
+  speaks the :mod:`~repro.service.storeserver` JSON-lines protocol, so a
+  ``CompileService`` on one host keeps its pulses on another
+  (``--store remote://host:port``). Wire failures *degrade, never crash*:
+  after one reconnect-and-retry, a ``get`` becomes a miss, a ``put`` is
+  dropped (the solve's record is still returned to the client — only the
+  cache write is lost), a ``snapshot`` comes back empty. Degradations are
+  counted (``stats.degraded``) so an unhealthy store is visible in every
+  batch report rather than silently slow. The engine-fingerprint guard is
+  enforced server-side; an explicit mismatch is re-raised loudly as
+  :class:`~repro.service.store.StoreVersionError`.
+
+* :class:`RemoteExecutor` + :func:`worker_loop` — the executors'
+  ``map_parts`` seam across processes/hosts. The executor listens; each
+  ``repro worker --connect host:port`` process dials in, receives
+  pickled :class:`~repro.service.executor.GroupTask` lists (warm seeds
+  already resolved from the batch's store snapshot, so pulses stay
+  bit-identical to the serial executor), runs
+  :func:`~repro.service.executor.run_part`, and ships the
+  :class:`~repro.service.executor.PartOutcome` back. Parts are dispatched
+  in the LPT order the caller built; a worker disconnect requeues its
+  in-flight part for the next free worker (straggler reassignment), and
+  if no worker is left the dispatcher drains the queue locally — a batch
+  never strands on the fabric.
+
+Worker wire format: JSON lines carrying base64-framed pickles
+(``{"op": "part", "job": n, "payload": <b64 pickle of (engine, worker,
+tasks)>}`` answered by ``{"op": "outcome", ...}`` or ``{"op": "error",
+"error": msg}``). Pickle over TCP means the fabric trusts its peers —
+run it on a private network, exactly like the process-pool backend
+trusts ``fork``.
+
+Per-hop wire timings surface in ``repro perf``: every remote part outcome
+carries a ``wire`` stage (round-trip minus worker compute, i.e. transport
++ serialization), reported as ``execute.worker<k>.wire`` in the batch
+breakdown, and every :class:`RemoteStore` RPC is timed under
+``<stat_prefix>rpc`` in its perf recorder.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cache import (
+    CoverageReport,
+    LibraryEntry,
+    PulseLibrary,
+)
+from repro.grouping.group import GateGroup
+from repro.perf.instrument import PerfRecorder, recorder_or_null
+from repro.service.executor import GroupTask, PartOutcome, run_part
+from repro.service.store import (
+    StoreBackend,
+    StoreStats,
+    StoreVersionError,
+    key_digest,
+)
+from repro.service.storeserver import decode_entry, encode_entry
+
+REMOTE_SCHEME = "remote://"
+
+
+class RemoteUnavailable(ConnectionError):
+    """The remote peer could not be reached (after reconnect + retry)."""
+
+
+def is_remote_spec(spec: str) -> bool:
+    """True for ``remote://host:port`` (or a comma list of them)."""
+    return str(spec).startswith(REMOTE_SCHEME)
+
+
+def parse_remote_spec(spec: str) -> Tuple[str, int]:
+    """``remote://host:port`` (or bare ``host:port``) -> (host, port)."""
+    spec = str(spec).strip()
+    if spec.startswith(REMOTE_SCHEME):
+        spec = spec[len(REMOTE_SCHEME):]
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(
+            f"bad remote spec {spec!r}; expected remote://host:port"
+        )
+    return host, int(port)
+
+
+@dataclass
+class RemoteStoreStats(StoreStats):
+    """Client-side store counters plus wire degradations.
+
+    ``degraded`` counts operations absorbed after a failed
+    reconnect-and-retry — each one is a get served as a miss, a dropped
+    cache write, or an empty snapshot. Zero on a healthy fabric.
+    """
+
+    degraded: int = 0
+
+    def to_dict(self) -> Dict[str, float]:
+        payload = super().to_dict()
+        payload["degraded"] = self.degraded
+        return payload
+
+
+class RemoteStore(StoreBackend):
+    """:class:`StoreBackend` over a :class:`~repro.service.storeserver.StoreServer`.
+
+    One socket, guarded by a lock (the service calls from several batch
+    threads); requests are serialized per store instance, which matches the
+    one-lock behavior of a local :class:`~repro.service.store.PulseStore`.
+    ``stats`` counts *this client's* traffic — the server keeps its own.
+
+    ``add_eviction_guard`` is a local no-op: eviction policy (and any
+    bound) lives with the server's store, which cannot see this client's
+    in-flight claims. Run remote stores unbounded, or bound them knowing
+    eviction is advisory across hosts — same caveat as two local writers.
+    """
+
+    def __init__(
+        self,
+        spec: str,
+        timeout_s: float = 30.0,
+        perf: Optional[PerfRecorder] = None,
+        stat_prefix: str = "store.remote.",
+    ) -> None:
+        self.host, self.port = parse_remote_spec(spec)
+        self.timeout_s = float(timeout_s)
+        self.stats = RemoteStoreStats()
+        self.perf = recorder_or_null(perf)
+        self.stat_prefix = stat_prefix
+        self._lock = threading.RLock()
+        self._sock: Optional[socket.socket] = None
+        self._stream = None
+        self._fingerprint: Optional[str] = None  # replayed on every connect
+
+    @property
+    def address(self) -> str:
+        return f"{REMOTE_SCHEME}{self.host}:{self.port}"
+
+    # ---------------------------------------------------------------- wire
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        sock.settimeout(self.timeout_s)
+        self._sock = sock
+        self._stream = sock.makefile("rwb")
+        if self._fingerprint is not None:
+            # Re-assert the engine identity on every (re)connection: a
+            # claim that was absorbed while the server was down must not
+            # leave later puts unguarded — no data flows on a connection
+            # whose handshake the server has not accepted.
+            reply = self._roundtrip(
+                {"op": "fingerprint", "fingerprint": self._fingerprint}
+            )
+            if not reply.get("ok"):
+                message = reply.get("error", "fingerprint refused")
+                self._disconnect()
+                raise StoreVersionError(message)
+
+    def _disconnect(self) -> None:
+        for closer in (self._stream, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._stream = None
+        self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._disconnect()
+
+    def _roundtrip(self, payload: Dict) -> Dict:
+        if self._stream is None:
+            self._connect()
+        line = (json.dumps(payload) + "\n").encode()
+        self._stream.write(line)
+        self._stream.flush()
+        reply = self._stream.readline()
+        if not reply:
+            raise ConnectionError("store server closed the connection")
+        return json.loads(reply)
+
+    def _rpc(self, payload: Dict) -> Dict:
+        """One request/response, reconnect-and-retry-once on wire failure.
+
+        Raises :class:`RemoteUnavailable` when the retry also fails (the
+        public methods translate that into their degraded result), and
+        :class:`StoreVersionError` on a server-side fingerprint refusal.
+        """
+        with self._lock, self.perf.stage(self.stat_prefix + "rpc"):
+            try:
+                response = self._roundtrip(payload)
+            except (OSError, ValueError):
+                self._disconnect()
+                try:
+                    response = self._roundtrip(payload)
+                except (OSError, ValueError) as exc:
+                    self._disconnect()
+                    raise RemoteUnavailable(
+                        f"store at {self.address} unreachable: {exc}"
+                    ) from exc
+        if response.get("ok"):
+            return response
+        message = response.get("error", "remote store error")
+        if response.get("kind") == "fingerprint":
+            raise StoreVersionError(message)
+        raise RuntimeError(f"remote store at {self.address}: {message}")
+
+    def _degrade(self) -> None:
+        with self._lock:  # counters race across concurrent batch threads
+            self.stats.degraded += 1
+        self.perf.count(self.stat_prefix + "degraded")
+
+    def _count(self, field: str) -> None:
+        """One stats increment, serialized (read-modify-write races)."""
+        with self._lock:
+            setattr(self.stats, field, getattr(self.stats, field) + 1)
+        self.perf.count(self.stat_prefix + field)
+
+    # ------------------------------------------------------------------ api
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, group: GateGroup) -> bool:
+        return self.peek_key(group.key()) is not None
+
+    def keys(self) -> List[bytes]:
+        try:
+            response = self._rpc({"op": "keys"})
+        except RemoteUnavailable:
+            self._degrade()
+            return []
+        return [bytes.fromhex(k) for k in response["keys"]]
+
+    def snapshot(self) -> PulseLibrary:
+        """The server's full library; *empty* when the wire is down —
+        the batch then plans cold, which is correct, just slower."""
+        try:
+            response = self._rpc({"op": "snapshot"})
+        except RemoteUnavailable:
+            self._degrade()
+            return PulseLibrary()
+        library = PulseLibrary()
+        for payload in response["entries"]:
+            library.add(decode_entry(payload))
+        return library
+
+    def library(self) -> PulseLibrary:
+        """Alias for :meth:`snapshot` (remote has no live in-memory view)."""
+        return self.snapshot()
+
+    def get_key(self, key: bytes) -> Optional[LibraryEntry]:
+        try:
+            response = self._rpc({"op": "get", "key": key.hex()})
+        except RemoteUnavailable:
+            self._degrade()
+            self._count("misses")
+            return None
+        if response["entry"] is None:
+            self._count("misses")
+            return None
+        self._count("hits")
+        return decode_entry(response["entry"])
+
+    def peek_key(self, key: bytes) -> Optional[LibraryEntry]:
+        try:
+            response = self._rpc({"op": "peek", "key": key.hex()})
+        except RemoteUnavailable:
+            self._degrade()
+            return None
+        if response["entry"] is None:
+            return None
+        return decode_entry(response["entry"])
+
+    def put(self, entry: LibraryEntry, flush: bool = True) -> None:
+        try:
+            self._rpc(
+                {"op": "put", "entry": encode_entry(entry), "flush": flush}
+            )
+        except RemoteUnavailable:
+            self._degrade()  # cache write lost; the caller keeps its record
+            return
+        self._count("puts")
+
+    def flush(self) -> None:
+        try:
+            self._rpc({"op": "flush"})
+        except RemoteUnavailable:
+            self._degrade()
+
+    def coverage(self, groups: Sequence[GateGroup]) -> CoverageReport:
+        """One ``keys`` round trip, membership resolved client-side (the
+        canonical key already folds wire permutation, same as local)."""
+        held = set(self.keys())
+        covered = 0
+        uncovered: Dict[bytes, GateGroup] = {}
+        for group in groups:
+            key = group.key()
+            if key in held:
+                covered += 1
+            else:
+                uncovered.setdefault(key, group)
+        return CoverageReport(
+            n_groups=len(groups),
+            n_covered=covered,
+            uncovered_unique=list(uncovered.values()),
+        )
+
+    def claim_fingerprint(self, fingerprint: str) -> None:
+        """Server-side guard: mismatch raises loudly; an unreachable
+        server degrades — but the identity is remembered and re-asserted
+        by every subsequent (re)connection before any other traffic, so a
+        claim absorbed while the server was down can never leave a later
+        ``put`` unguarded."""
+        with self._lock:
+            self._fingerprint = str(fingerprint)
+            try:
+                self._rpc(
+                    {"op": "fingerprint", "fingerprint": self._fingerprint}
+                )
+            except RemoteUnavailable:
+                self._degrade()
+
+    def add_eviction_guard(self, guard) -> None:
+        """No-op: eviction is the server's policy (see class docstring)."""
+
+    def revalidate(self, engine, budget: int) -> Dict[str, int]:
+        """Hygiene pass with the compute on this side of the wire: pull the
+        snapshot, retrain non-converged entries locally (same warm start
+        and seed tag as the server-side pass), push the results back."""
+        from repro.core.engines import compile_with_engine
+        from repro.service.executor import seed_tag_for
+
+        candidates = sorted(
+            (e for e in self.snapshot().entries() if not e.converged),
+            key=lambda e: key_digest(e.group.key()),
+        )
+        spent = retrained = converged = 0
+        for entry in candidates:
+            if spent >= budget:
+                break
+            record = compile_with_engine(
+                engine,
+                entry.group,
+                warm_pulse=entry.pulse,
+                warm_source=entry.group,
+                seed_tag=seed_tag_for(entry.group),
+            )
+            spent += record.iterations
+            retrained += 1
+            if record.converged:
+                converged += 1
+            self.put(
+                LibraryEntry(
+                    group=entry.group,
+                    pulse=record.pulse,
+                    latency=record.latency,
+                    iterations=entry.iterations + record.iterations,
+                    converged=record.converged,
+                ),
+                flush=False,
+            )
+        if retrained:
+            self.flush()
+        return {
+            "retrained": retrained,
+            "converged": converged,
+            "iterations": spent,
+            "remaining": len(candidates) - retrained,
+        }
+
+    def server_stats(self) -> Optional[Dict]:
+        """The server's own counters (None when unreachable)."""
+        try:
+            response = self._rpc({"op": "stats"})
+        except RemoteUnavailable:
+            self._degrade()
+            return None
+        return {
+            "stats": response["stats"],
+            "shards": response["shards"],
+            "entries": response["entries"],
+        }
+
+
+# ---------------------------------------------------------------- executor
+def _pack(obj) -> str:
+    return base64.b64encode(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def _unpack(payload: str):
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+class _MapJob:
+    """Bookkeeping for one ``map_parts`` call (outcomes land out of order)."""
+
+    def __init__(self, n_parts: int) -> None:
+        self.n_parts = n_parts
+        self.outcomes: Dict[int, PartOutcome] = {}
+        self.error: Optional[BaseException] = None
+        self.started_at = time.perf_counter()
+        self._cond = threading.Condition()
+
+    def complete(self, index: int, outcome: PartOutcome) -> None:
+        with self._cond:
+            self.outcomes[index] = outcome
+            self._cond.notify_all()
+
+    def fail(self, error: BaseException) -> None:
+        with self._cond:
+            if self.error is None:
+                self.error = error
+            self._cond.notify_all()
+
+    def done(self) -> bool:
+        with self._cond:
+            return self.error is not None or len(self.outcomes) >= self.n_parts
+
+    def wait(self, timeout: float) -> None:
+        with self._cond:
+            if self.error is None and len(self.outcomes) < self.n_parts:
+                self._cond.wait(timeout)
+
+
+class RemoteExecutor:
+    """``map_parts`` over TCP workers (``repro worker --connect``).
+
+    The executor is the listening side: workers dial in, announce
+    themselves, and then loop pulling parts off one shared queue — the
+    queue preserves the caller's LPT submission order, so the heaviest
+    parts land on workers first, exactly like the local pools. One part is
+    in flight per worker connection (responses correlate trivially), a
+    disconnect requeues the in-flight part, and when the fabric is empty
+    the dispatcher runs the remaining parts in-process so no batch ever
+    strands. Long-lived: one instance serves every batch of a service
+    (``hasattr(spec, "map_parts")`` in ``make_backend`` passes it through).
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        wait_workers_s: float = 10.0,
+        perf: Optional[PerfRecorder] = None,
+    ) -> None:
+        self.host = host
+        self.wait_workers_s = float(wait_workers_s)
+        self.perf = recorder_or_null(perf)
+        self.stopped = threading.Event()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._live_lock = threading.Condition()
+        self._live = 0  # connected worker handlers
+        self.n_dispatched = 0
+        self.n_reassigned = 0
+        self.n_local_fallback = 0
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen()
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fabric-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def live_workers(self) -> int:
+        with self._live_lock:
+            return self._live
+
+    def close(self) -> None:
+        self.stopped.set()
+        # shutdown() first: close alone does not wake the accept thread,
+        # which would pin the port in LISTEN past this executor's life.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        # Unblock every idle handler; each forwards the close to its worker.
+        with self._live_lock:
+            live = self._live
+        for _ in range(live):
+            self._queue.put(None)
+
+    # -------------------------------------------------------------- fabric
+    def _accept_loop(self) -> None:
+        while not self.stopped.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._worker_handler,
+                args=(conn,),
+                name="fabric-worker",
+                daemon=True,
+            ).start()
+
+    def _worker_handler(self, conn: socket.socket) -> None:
+        """One connected worker: pull a part, round-trip it, repeat.
+
+        On any wire failure the in-flight part goes *back on the queue
+        before* the live count drops, so the dispatch loop can never
+        observe zero workers while a recoverable part is invisible.
+        """
+        try:
+            stream = conn.makefile("rwb")
+            hello = stream.readline()
+            if not hello or json.loads(hello).get("op") != "hello":
+                conn.close()
+                return
+        except (OSError, ValueError):
+            conn.close()
+            return
+        with self._live_lock:
+            self._live += 1
+            self._live_lock.notify_all()
+        item = None
+        try:
+            while not self.stopped.is_set():
+                item = self._queue.get()
+                if item is None:  # close() sentinel
+                    try:
+                        stream.write(b'{"op": "close"}\n')
+                        stream.flush()
+                    except OSError:
+                        pass
+                    return
+                job, index, payload = item
+                dispatched_at = time.perf_counter()
+                try:
+                    stream.write(
+                        (
+                            json.dumps(
+                                {"op": "part", "job": index, "payload": payload}
+                            )
+                            + "\n"
+                        ).encode()
+                    )
+                    stream.flush()
+                    reply = stream.readline()
+                    if not reply:
+                        raise ConnectionError("worker closed mid-part")
+                    message = json.loads(reply)
+                except (OSError, ValueError):
+                    # Disconnect mid-part: reassign, retire this worker.
+                    # A part whose job already finished (failed batch,
+                    # purged queue) must not haunt the next batch's queue.
+                    if not job.done():
+                        self._queue.put(item)
+                        self.n_reassigned += 1
+                        self.perf.count("remote.reassigned")
+                    item = None
+                    return
+                item = None
+                self.n_dispatched += 1
+                if message.get("op") == "error":
+                    job.fail(RuntimeError(message.get("error", "worker error")))
+                    continue
+                outcome: PartOutcome = _unpack(message["payload"])
+                # Dispatcher-side queue wait (cross-host clocks do not
+                # compare); wire = round trip minus the worker's compute.
+                roundtrip = time.perf_counter() - dispatched_at
+                outcome.queue_wait_s = max(
+                    0.0, dispatched_at - job.started_at
+                )
+                outcome.perf_stages = dict(outcome.perf_stages)
+                outcome.perf_stages["wire"] = max(
+                    0.0, roundtrip - outcome.wall_s
+                )
+                job.complete(index, outcome)
+        finally:
+            if item is not None and not item[0].done():
+                self._queue.put(item)  # died holding a live part
+
+            with self._live_lock:
+                self._live -= 1
+                self._live_lock.notify_all()
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------ dispatch
+    def _wait_for_worker(self, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        with self._live_lock:
+            while self._live == 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._live_lock.wait(remaining)
+            return True
+
+    def _take_queued(self, job: Optional[_MapJob]) -> List[Tuple]:
+        """Pop this job's queued items (everything, when ``job`` is None);
+        other jobs' items go straight back — the queue is shared by
+        concurrent ``map_parts`` calls (async server, ``max_inflight>1``)."""
+        mine: List[Tuple] = []
+        others: List[Tuple] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                # close() sentinel: put it back so the idle handler it was
+                # meant for still wakes up and hangs up its worker.
+                others.append(item)
+                continue
+            if job is not None and item[0] is not job:
+                others.append(item)
+            else:
+                mine.append(item)
+        for item in others:
+            self._queue.put(item)
+        return mine
+
+    def _drain_locally(self, engine, job: _MapJob) -> None:
+        """No workers left: run whatever is still queued in-process."""
+        for _, index, payload in self._take_queued(job):
+            _, worker, tasks = _unpack(payload)
+            self.n_local_fallback += 1
+            self.perf.count("remote.local_fallback")
+            try:
+                outcome = run_part(engine, worker, tasks, job.started_at)
+            except BaseException as error:
+                job.fail(error)
+                return
+            job.complete(index, outcome)
+
+    def map_parts(
+        self, engine, parts: Sequence[Tuple[int, List[GroupTask]]]
+    ) -> List[PartOutcome]:
+        if not parts:
+            return []
+        have_worker = self._wait_for_worker(self.wait_workers_s)
+        job = _MapJob(len(parts))
+        for index, (worker, tasks) in enumerate(parts):
+            self._queue.put((job, index, _pack((engine, worker, tasks))))
+        if not have_worker:
+            self._drain_locally(engine, job)
+        while not job.done():
+            job.wait(0.05)
+            if self.live_workers() == 0:
+                self._drain_locally(engine, job)
+        if job.error is not None:
+            # A failed batch must not leave its undispatched parts queued
+            # for workers to burn cycles on (and to delay the next batch).
+            self._take_queued(job)
+            raise job.error
+        return [job.outcomes[i] for i in range(len(parts))]
+
+
+# ------------------------------------------------------------------ worker
+def worker_loop(
+    spec: str,
+    max_parts: Optional[int] = None,
+    connect_timeout_s: float = 30.0,
+) -> int:
+    """One solver worker: dial the fabric, run parts until it hangs up.
+
+    The counterpart of :class:`RemoteExecutor` (``repro worker --connect
+    host:port``). Each ``part`` message carries (engine, worker label,
+    tasks) — warm seeds included — so :func:`run_part` here produces the
+    same bytes the serial executor would. A solve failure is reported as
+    an ``error`` message (the dispatcher fails the batch; a *crash* of
+    this process instead triggers reassignment). Returns the number of
+    parts handled.
+    """
+    host, port = parse_remote_spec(spec)
+    deadline = time.monotonic() + connect_timeout_s
+    while True:  # the fabric may still be starting up
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+            break
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+    # Drop the connect timeout: an idle worker blocks in readline between
+    # parts, and a lingering 5s timeout would crash it out of the fabric.
+    sock.settimeout(None)
+    handled = 0
+    with sock, sock.makefile("rwb") as stream:
+        stream.write(b'{"op": "hello"}\n')
+        stream.flush()
+        for line in stream:
+            try:
+                message = json.loads(line)
+            except ValueError:
+                continue
+            op = message.get("op")
+            if op == "close":
+                break
+            if op != "part":
+                continue
+            try:
+                engine, worker, tasks = _unpack(message["payload"])
+                outcome = run_part(engine, worker, tasks)
+                reply = {
+                    "op": "outcome",
+                    "job": message.get("job"),
+                    "payload": _pack(outcome),
+                }
+            except Exception as exc:
+                reply = {
+                    "op": "error",
+                    "job": message.get("job"),
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            stream.write((json.dumps(reply) + "\n").encode())
+            stream.flush()
+            handled += 1
+            if max_parts is not None and handled >= max_parts:
+                break
+    return handled

@@ -3,10 +3,15 @@
 ``CompileService`` ties the pieces together: the :class:`AccQOC` front end
 (mapping + grouping, shared with the one-shot pipeline), the
 :class:`CompilePlanner` (batch-wide dedup + shared MST + worker cuts), the
-:class:`WorkerPoolExecutor` (serial / thread / process), the
-:class:`GroupCoalescer` (concurrent batches compile a key once), and the
-:class:`PulseStore` (every solve is persisted before the batch returns, so
-the next request — or the next process — starts warm).
+:class:`WorkerPoolExecutor` (serial / thread / process locally, or a
+:class:`~repro.service.remote.RemoteExecutor` fabric of ``repro worker``
+processes), the :class:`GroupCoalescer` (concurrent batches compile a key
+once), and a :class:`StoreBackend` — a local :class:`PulseStore`, a
+:class:`~repro.service.sharding.ShardedStore` (local shards or a
+``remote://`` routing table), or a single
+:class:`~repro.service.remote.RemoteStore` — where every solve is
+persisted before the batch returns, so the next request — or the next
+process, or the next host — starts warm.
 
 One ``submit_batch`` call is the unit of work: plan, claim keys, solve the
 owned ones on the pool, persist, price every program with

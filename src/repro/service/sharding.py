@@ -23,6 +23,15 @@ its own shard lock) and merges them, so no global consistency point is
 needed: the merge is keyed by canonical key and shards are disjoint by
 construction.
 
+Shard -> host is just a routing decision: ``ShardedStore(routes=[...])``
+replaces the local per-shard directories with
+:class:`~repro.service.remote.RemoteStore` clients, one ``remote://``
+host per digest range, same ``shard_of`` arithmetic (``open_store`` takes
+a comma-separated ``remote://`` list and builds the routing table in
+order). Each host runs ``repro store serve`` over its own ordinary store
+directory, so the distributed layout is made of the same durable parts as
+the local one.
+
 The shard map is written once at store creation and validated on every
 open: opening with the wrong expected shard count — or pointing N-shard
 code at an M-shard directory — fails loudly with
@@ -132,14 +141,24 @@ class ShardedStore(StoreBackend):
 
     def __init__(
         self,
-        root: str,
+        root: Optional[str] = None,
         n_shards: Optional[int] = None,
         expected_shards: Optional[int] = None,
         max_entries: Optional[int] = None,
         perf: Optional[PerfRecorder] = None,
+        routes: Optional[Sequence[str]] = None,
     ) -> None:
-        self.root = str(root)
         self.perf = recorder_or_null(perf)
+        self.routes: Optional[List[str]] = None
+        if routes is not None:
+            # Routing table mode: shard i's digest range lives on host i.
+            # Same shard_of arithmetic as local shards — shard -> host is
+            # purely a routing decision, the key space never changes.
+            self._init_routed(root, list(routes), n_shards, expected_shards)
+            return
+        if root is None:
+            raise StoreVersionError("ShardedStore needs a root or routes")
+        self.root = str(root)
         if is_sharded(self.root):
             shard_map = load_shard_map(self.root)
             self.n_shards = shard_map["n_shards"]
@@ -166,7 +185,7 @@ class ShardedStore(StoreBackend):
         if max_entries is not None:
             per_shard_bound = max(1, max_entries // self.n_shards)
         self.max_entries = max_entries
-        self.shards: List[PulseStore] = [
+        self.shards: List[StoreBackend] = [
             PulseStore(
                 os.path.join(self.root, shard_dir_name(i)),
                 max_entries=per_shard_bound,
@@ -174,6 +193,42 @@ class ShardedStore(StoreBackend):
                 stat_prefix=f"store.shard{i}.",
             )
             for i in range(self.n_shards)
+        ]
+
+    def _init_routed(
+        self,
+        root: Optional[str],
+        routes: List[str],
+        n_shards: Optional[int],
+        expected_shards: Optional[int],
+    ) -> None:
+        """Build the store from a routing table of ``remote://`` hosts."""
+        from repro.service.remote import RemoteStore, is_remote_spec
+
+        if root is not None:
+            raise StoreVersionError(
+                "a routed ShardedStore has no local root; the hosts own "
+                "their own directories"
+            )
+        if not routes or not all(is_remote_spec(r) for r in routes):
+            raise StoreVersionError(
+                f"routes must be remote:// specs, got {routes!r}"
+            )
+        requested = expected_shards if expected_shards is not None else n_shards
+        if requested is not None and requested != len(routes):
+            raise StoreVersionError(
+                f"routing table lists {len(routes)} hosts; "
+                f"{requested} shards were requested"
+            )
+        self.root = None
+        self.routes = routes
+        self.n_shards = len(routes)
+        self.max_entries = None  # bounds are each store server's policy
+        self.shards = [
+            RemoteStore(
+                spec, perf=self.perf, stat_prefix=f"store.shard{i}."
+            )
+            for i, spec in enumerate(routes)
         ]
 
     # -------------------------------------------------------------- routing
@@ -184,12 +239,19 @@ class ShardedStore(StoreBackend):
     @property
     def stats(self) -> StoreStats:
         """Merged per-shard counters (a fresh snapshot each access)."""
-        merged = StoreStats()
+        if self.routes is not None:
+            from repro.service.remote import RemoteStoreStats
+
+            merged = RemoteStoreStats()
+        else:
+            merged = StoreStats()
         for shard in self.shards:
             merged.hits += shard.stats.hits
             merged.misses += shard.stats.misses
             merged.puts += shard.stats.puts
             merged.evictions += shard.stats.evictions
+            if hasattr(merged, "degraded"):
+                merged.degraded += getattr(shard.stats, "degraded", 0)
         return merged
 
     def stats_by_shard(self) -> List[Dict[str, float]]:
@@ -235,11 +297,22 @@ class ShardedStore(StoreBackend):
             shard.flush()
 
     def coverage(self, groups: Sequence[GateGroup]) -> CoverageReport:
+        if self.routes is not None:
+            # One keys() round trip per host, membership client-side —
+            # a per-group peek would be a serialized RTT per group.
+            held: set = set()
+            for shard in self.shards:
+                held.update(shard.keys())
+            membership = held.__contains__
+        else:
+            membership = lambda key: (  # noqa: E731 — local peek is O(1)
+                self.shard_for_key(key).peek_key(key) is not None
+            )
         covered = 0
         uncovered: Dict[bytes, GateGroup] = {}
         for group in groups:
             key = group.key()
-            if self.shard_for_key(key).peek_key(key) is not None:
+            if membership(key):
                 covered += 1
             else:
                 uncovered.setdefault(key, group)
@@ -290,8 +363,35 @@ def open_store(
       ``repro store reshard`` migration instead of silently re-routing.
     * A fresh path creates whichever layout ``shards`` asks for
       (``None``/1 -> single directory, N > 1 -> N shards).
+    * A ``remote://host:port`` spec opens a
+      :class:`~repro.service.remote.RemoteStore`; a comma-separated list
+      of them opens a routed :class:`ShardedStore` whose digest ranges map
+      onto the listed hosts in order (``shards`` — when given — must match
+      the host count). ``max_entries`` is refused for remote specs: the
+      bound is each store server's policy.
     """
     root = str(root)
+    if "remote://" in root:
+        # Any remote:// element makes this a routing-table spec — matching
+        # only a leading one would let `/local/dir,remote://h:p` fall
+        # through and silently open a fresh local store at that literal
+        # path, never touching the remote at all.
+        from repro.service.remote import RemoteStore, is_remote_spec
+
+        routes = [part.strip() for part in root.split(",") if part.strip()]
+        if not all(is_remote_spec(r) for r in routes):
+            raise StoreVersionError(
+                f"mixed store spec {root!r}: every entry of a remote "
+                f"routing table must be remote://host:port"
+            )
+        if max_entries is not None:
+            raise StoreVersionError(
+                "--max-entries applies to the store server's own store, "
+                "not to a remote:// client"
+            )
+        if len(routes) == 1 and (shards is None or shards == 1):
+            return RemoteStore(routes[0], perf=perf)
+        return ShardedStore(routes=routes, expected_shards=shards, perf=perf)
     if is_sharded(root):
         return ShardedStore(
             root, expected_shards=shards, max_entries=max_entries, perf=perf

@@ -138,8 +138,11 @@ class StoreBackend(abc.ABC):
     ``CompileService``, the executors, and the front doors talk only to this
     interface, so one logical store can be a single directory
     (:class:`PulseStore`), N key-digest-range shards
-    (:class:`repro.service.sharding.ShardedStore`), or — later — a remote
-    store behind the same seam. The contract every backend honors:
+    (:class:`repro.service.sharding.ShardedStore`), or a store on another
+    host (:class:`repro.service.remote.RemoteStore` speaking the
+    ``repro store serve`` protocol — including a ShardedStore whose
+    shards are themselves remote, the digest-range routing table). The
+    contract every backend honors:
 
     * content addressing by canonical group key (wire-permuted occurrences
       of a stored group hit);

@@ -1,0 +1,241 @@
+"""Store server: any :class:`StoreBackend` exposed as a JSON-lines TCP service.
+
+``repro store serve --root <dir> [--port N]`` wraps a local store (single
+directory or sharded — :func:`~repro.service.sharding.open_store` detects
+the layout) in a thread-per-connection TCP listener speaking one JSON
+object per line. :class:`~repro.service.remote.RemoteStore` is the client
+side; together they let ``repro serve``/``repro batch`` on one host keep
+their pulses on another (``--store remote://host:port``).
+
+Wire protocol (requests carry ``op``; responses carry ``ok``)::
+
+    {"op": "get",  "key": "<hex canonical key>"}
+        -> {"ok": true, "entry": "<b64>"|null}      # hit/miss counted
+    {"op": "peek", "key": "<hex>"}                  # no accounting
+        -> {"ok": true, "entry": "<b64>"|null}
+    {"op": "put",  "entry": "<b64>", "flush": true} -> {"ok": true}
+    {"op": "snapshot"} -> {"ok": true, "entries": ["<b64>", ...]}
+    {"op": "keys"}     -> {"ok": true, "keys": ["<hex>", ...]}
+    {"op": "flush"}    -> {"ok": true}
+    {"op": "stats"}    -> {"ok": true, "stats": {...}, "shards": [...],
+                           "entries": N}
+    {"op": "fingerprint", "fingerprint": "<id>"} -> {"ok": true}
+    {"op": "ping"}     -> {"ok": true}
+    {"op": "shutdown"} -> {"ok": true, "bye": true}  # stops the server
+
+Entry payloads are the ``entry_to_dict`` JSON, base64-framed so a line can
+never be split by embedded content, whatever the entry holds. Errors come
+back as ``{"ok": false, "error": msg, "kind": k}`` with ``kind`` one of
+``"fingerprint"`` (engine-identity mismatch — the client re-raises it as a
+loud :class:`~repro.service.store.StoreVersionError`), ``"bad-request"``
+(malformed line/op), or ``"server"`` (the store raised). The engine
+fingerprint guard runs *server-side* against the server's persistent
+store, so a mismatching client is refused no matter how it connects; the
+stamp survives server restarts because ``claim_fingerprint`` flushes it
+into the manifest.
+
+A connection handler never crashes the server: bad lines are answered and
+the loop continues; a disconnect just ends that handler. The underlying
+stores are already thread-safe, so concurrent connections need no extra
+locking here.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.core.cache import LibraryEntry, entry_from_dict, entry_to_dict
+from repro.service.store import StoreBackend, StoreVersionError
+
+
+def encode_entry(entry: LibraryEntry) -> str:
+    """Base64-framed ``entry_to_dict`` JSON (one wire token per entry)."""
+    raw = json.dumps(entry_to_dict(entry)).encode()
+    return base64.b64encode(raw).decode("ascii")
+
+
+def decode_entry(payload: str) -> LibraryEntry:
+    """Inverse of :func:`encode_entry`."""
+    return entry_from_dict(json.loads(base64.b64decode(payload.encode("ascii"))))
+
+
+def _error(message: str, kind: str = "server") -> Dict:
+    return {"ok": False, "error": message, "kind": kind}
+
+
+class StoreServer:
+    """Thread-per-connection TCP front for one :class:`StoreBackend`.
+
+    ``start()`` binds and begins accepting (``port=0`` picks a free port,
+    readable afterwards as :attr:`port`); ``stop()`` closes the listener
+    and every live connection. Usable in-process (tests, ``repro perf``)
+    or via the ``repro store serve`` CLI.
+    """
+
+    def __init__(
+        self, store: StoreBackend, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.store = store
+        self.host = host
+        self.port = port
+        self.stopped = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_lock = threading.Lock()
+        self._conns: set = set()
+        self.n_requests = 0
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "StoreServer":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen()
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="store-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Close the listener and every live connection, then flush."""
+        if self.stopped.is_set():
+            return
+        self.stopped.set()
+        if self._listener is not None:
+            # shutdown() before close(): close alone does not wake a
+            # thread blocked in accept(), which would keep the port in
+            # LISTEN and block a restart on the same address.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        try:
+            self.store.flush()
+        except Exception:
+            pass  # shutdown must not raise over a best-effort flush
+
+    def serve_forever(self) -> None:
+        """Block the calling thread until :meth:`stop` (or shutdown op)."""
+        self.stopped.wait()
+
+    # -------------------------------------------------------------- accept
+    def _accept_loop(self) -> None:
+        while not self.stopped.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._conn_lock:
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="store-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            with conn, conn.makefile("rwb") as stream:
+                for line in stream:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    response, stop = self._respond(line)
+                    stream.write((json.dumps(response) + "\n").encode())
+                    stream.flush()
+                    if stop:
+                        self.stop()
+                        return
+        except (OSError, ValueError):
+            pass  # client went away mid-line; nothing to answer
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+
+    # ------------------------------------------------------------- requests
+    def _respond(self, line: bytes) -> Tuple[Dict, bool]:
+        """(response payload, stop server?) for one request line."""
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict) or "op" not in request:
+                raise ValueError("request must be an object with 'op'")
+        except ValueError as exc:
+            return _error(f"bad request: {exc}", kind="bad-request"), False
+        self.n_requests += 1
+        op = request["op"]
+        try:
+            if op == "shutdown":
+                return {"ok": True, "bye": True}, True
+            return self._dispatch(op, request), False
+        except StoreVersionError as exc:
+            return _error(str(exc), kind="fingerprint"), False
+        except (KeyError, ValueError, TypeError) as exc:
+            return _error(f"bad {op!r} request: {exc}", kind="bad-request"), False
+        except Exception as exc:  # the store itself failed; keep serving
+            return _error(f"{type(exc).__name__}: {exc}"), False
+
+    def _dispatch(self, op: str, request: Dict) -> Dict:
+        store = self.store
+        if op == "ping":
+            return {"ok": True}
+        if op == "get":
+            entry = store.get_key(bytes.fromhex(request["key"]))
+            return {"ok": True, "entry": encode_entry(entry) if entry else None}
+        if op == "peek":
+            entry = store.peek_key(bytes.fromhex(request["key"]))
+            return {"ok": True, "entry": encode_entry(entry) if entry else None}
+        if op == "put":
+            store.put(
+                decode_entry(request["entry"]),
+                flush=bool(request.get("flush", True)),
+            )
+            return {"ok": True}
+        if op == "snapshot":
+            snapshot = store.snapshot()
+            return {
+                "ok": True,
+                "entries": [encode_entry(e) for e in snapshot.entries()],
+            }
+        if op == "keys":
+            return {"ok": True, "keys": [k.hex() for k in store.keys()]}
+        if op == "flush":
+            store.flush()
+            return {"ok": True}
+        if op == "stats":
+            return {
+                "ok": True,
+                "stats": store.stats.to_dict(),
+                "shards": store.stats_by_shard(),
+                "entries": len(store),
+            }
+        if op == "fingerprint":
+            store.claim_fingerprint(str(request["fingerprint"]))
+            return {"ok": True}
+        return _error(f"unknown op {op!r}", kind="bad-request")

@@ -4,6 +4,8 @@ import asyncio
 import json
 import threading
 
+import pytest
+
 from repro.core.engines import ModelEngine
 from repro.service.asyncserve import AsyncCompileServer
 from repro.service.protocol import CompileRequest, assign_request_id
@@ -68,13 +70,14 @@ def test_single_client_roundtrip_and_auto_ids(tmp_path):
         await tcp.wait_closed()
         await server.close()
         by_id = {r["id"]: r for r in responses}
-        assert set(by_id) == {"mine", "auto2"}  # auto id fills the gap
+        # dense auto-id numbering: requests that carry an id don't burn one
+        assert set(by_id) == {"mine", "auto1"}
         for response in responses:
             assert response["ok"] and response["program"] == "qft_4"
             assert response["batch"] == 1  # both rode one planning window
         # one batch, groups deduped across the two identical requests
         assert service.n_batches == 1
-        assert by_id["mine"]["compiled_groups"] == by_id["auto2"]["compiled_groups"]
+        assert by_id["mine"]["compiled_groups"] == by_id["auto1"]["compiled_groups"]
 
     _run(main())
 
@@ -105,6 +108,83 @@ def test_assign_request_id_keeps_existing():
     keep = CompileRequest(id="r1", name="x")
     assert assign_request_id(keep, 7).id == "r1"
     assert assign_request_id(CompileRequest(id="", name="x"), 7).id == "auto7"
+
+
+def test_parse_errors_get_correlatable_auto_ids(tmp_path):
+    """Satellite: a malformed line is answered with a server-assigned id —
+    an empty id is uncorrelatable for an out-of-order client — and the
+    auto-id sequence stays dense across parse errors and id-less requests."""
+
+    async def main():
+        service = _service(tmp_path)
+        server = AsyncCompileServer(service, window_s=0.0)
+        tcp, port = await _start(server)
+        responses = await _client(
+            port,
+            ["this is not json", {"name": "qft_4"}, {"id": "mine", "name": "qft_4"}],
+        )
+        tcp.close()
+        await tcp.wait_closed()
+        await server.close()
+        by_id = {r["id"]: r for r in responses}
+        # parse error burned auto1, the id-less request got auto2 — no
+        # skipped values, and the carried id consumed nothing.
+        assert set(by_id) == {"auto1", "auto2", "mine"}
+        assert by_id["auto1"]["ok"] is False
+        assert "JSON" in by_id["auto1"]["error"]  # the protocol error text
+        assert by_id["auto2"]["ok"] and by_id["mine"]["ok"]
+
+    _run(main())
+
+
+def test_invalid_request_with_id_keeps_its_id(tmp_path):
+    """A line that is readable JSON but an invalid request must echo the
+    client's id on the error — not replace it with a server-assigned one."""
+
+    async def main():
+        service = _service(tmp_path)
+        server = AsyncCompileServer(service, window_s=0.0)
+        tcp, port = await _start(server)
+        responses = await _client(port, [{"id": "kept"}])  # no name/qasm/cmd
+        tcp.close()
+        await tcp.wait_closed()
+        await server.close()
+        assert responses[0]["id"] == "kept"
+        assert responses[0]["ok"] is False
+        assert server._next_id == 0  # no auto id burned on a carried id
+
+    _run(main())
+
+
+def test_oversized_qft_request_rejected_before_any_work(tmp_path):
+    """Satellite: `qft_999999999` must be refused by the protocol bound,
+    not stall the server building a giant circuit."""
+    from repro.service.protocol import ProtocolError, resolve_program
+
+    with pytest.raises(ProtocolError):
+        resolve_program("qft_999999999")
+    with pytest.raises(ProtocolError):
+        resolve_program("qft_0")
+    assert resolve_program("qft_64").n_qubits == 64
+
+    async def main():
+        service = _service(tmp_path)
+        server = AsyncCompileServer(service, window_s=0.0)
+        tcp, port = await _start(server)
+        start = asyncio.get_running_loop().time()
+        responses = await _client(
+            port, [{"id": "dos", "name": "qft_999999999"}]
+        )
+        elapsed = asyncio.get_running_loop().time() - start
+        tcp.close()
+        await tcp.wait_closed()
+        await server.close()
+        assert responses[0]["id"] == "dos"
+        assert responses[0]["ok"] is False
+        assert "out of range" in responses[0]["error"]
+        assert elapsed < 5.0  # answered from the bound, not from the work
+
+    _run(main())
 
 
 # -------------------------------------------------------------- coalescing
