@@ -293,6 +293,116 @@ def test_service_remote_fabric(benchmark, tmp_path, remote_mode):
     )
 
 
+def test_remote_batched_reads(benchmark, tmp_path, remote_mode):
+    """--remote: batched get_many vs per-key get round trips (PERF.md row).
+
+    The per-key ``store.remote.rpc`` round trip is the dominant wire tax of
+    the remote store; ``get_many`` answers a whole key list in one
+    ``store.remote.batched_rpc`` frame. This bench reads every stored key
+    both ways against the same loopback server and reports wall clock and
+    RPC counts — the 'before' column is what every read used to cost."""
+    from repro.perf.instrument import PerfRecorder
+    from repro.service import RemoteStore, StoreServer
+
+    programs = _suite_programs()
+    config = PipelineConfig(policy_name="map2b4l")
+    served = PulseStore(str(tmp_path / "served"))
+    server = StoreServer(served).start()
+    try:
+        CompileService(
+            RemoteStore(f"remote://{server.address}"), config,
+            backend="thread", n_workers=4,
+        ).submit_batch(programs)
+        keys = served.keys()
+        assert keys
+
+        perf_per_key = PerfRecorder()
+        per_key_store = RemoteStore(
+            f"remote://{server.address}", perf=perf_per_key
+        )
+        t0 = time.perf_counter()
+        per_key = [per_key_store.get_key(k) for k in keys]
+        per_key_wall = time.perf_counter() - t0
+
+        perf_batched = PerfRecorder()
+        batched_store = RemoteStore(
+            f"remote://{server.address}", perf=perf_batched
+        )
+        t0 = time.perf_counter()
+        batched = run_once(benchmark, batched_store.get_many, keys)
+        batched_wall = time.perf_counter() - t0
+
+        assert len(batched) == len(per_key)
+        for mine, ref in zip(batched, per_key):
+            assert mine is not None and ref is not None
+            assert mine.group.key() == ref.group.key()
+            assert mine.latency == ref.latency
+        n_get = perf_per_key.counters.get("store.remote.ops.get", 0)
+        n_frames = perf_batched.counters.get("store.remote.ops.get_many", 0)
+        assert n_get == len(keys)
+        assert n_frames == 1  # O(shards)==1 here, not O(keys)
+        assert perf_batched.counters.get("store.remote.ops.get", 0) == 0
+    finally:
+        server.stop()
+    print(
+        f"\nbatched reads ({len(keys)} keys, loopback): "
+        f"per-key {per_key_wall * 1e3:.1f} ms over {n_get} RPCs vs "
+        f"get_many {batched_wall * 1e3:.1f} ms over {n_frames} RPC "
+        f"({per_key_wall / max(batched_wall, 1e-9):.1f}x)"
+    )
+
+
+def test_replicated_store_failover_reads(benchmark, tmp_path, remote_mode):
+    """--remote: 2-replica store, primary killed, warm batch from survivor.
+
+    The failover-read regression point (PERF.md row): a cold suite batch
+    fans writes to both replicas bit-identically; with the primary dead the
+    same batch is still a 100% hit — every read costs one counted failover
+    probe against the dead primary plus the survivor's answer."""
+    from repro.service import ReplicatedStore, StoreServer
+
+    programs = _suite_programs()
+    config = PipelineConfig(policy_name="map2b4l")
+    locals_ = [PulseStore(str(tmp_path / f"replica{i}")) for i in range(2)]
+    servers = [StoreServer(store).start() for store in locals_]
+    spec = f"remote://{servers[0].address}|{servers[1].address}"
+    try:
+        t0 = time.perf_counter()
+        cold = CompileService(
+            ReplicatedStore(spec), config, backend="thread", n_workers=4
+        ).submit_batch(programs)
+        cold_wall = time.perf_counter() - t0
+        assert cold.n_compiled > 0
+        assert set(locals_[0].keys()) == set(locals_[1].keys())
+
+        servers[0].stop()  # kill the primary
+
+        def warm_failover():
+            service = CompileService(
+                ReplicatedStore(spec, timeout_s=2.0), config,
+                backend="thread", n_workers=4,
+            )
+            return service.submit_batch(programs), service
+
+        t0 = time.perf_counter()
+        (warm, service) = run_once(benchmark, warm_failover)
+        warm_wall = time.perf_counter() - t0
+        assert warm.n_compiled == 0
+        assert warm.coverage_rate == 1.0
+        stats = service.store.stats
+        assert stats.hits > 0
+        assert stats.failovers > 0
+    finally:
+        for server in servers:
+            server.stop()
+    print(
+        f"\nreplicated failover ({len(programs)} programs, 2 replicas): "
+        f"cold fan-out {cold_wall:.2f}s, warm-with-dead-primary "
+        f"{warm_wall:.2f}s, {stats.failovers} failover probes, "
+        f"{stats.hits:.0f} hits from the survivor"
+    )
+
+
 def test_service_worker_scaling_qft16(benchmark):
     """Acceptance: qft_16 uncovered groups, GRAPE, process backend, 1->8
     workers. Bit-identical pulses at every worker count; >= 2x speedup at

@@ -15,6 +15,8 @@ Usage::
     python -m repro store reshard --store /tmp/pulses --shards 4
     python -m repro store serve --root /tmp/pulses --port 7777  # store server
     python -m repro serve --store remote://db:7777 --workers remote --async
+    python -m repro serve --store "remote://db1:7777|db2:7777"  # 2 replicas
+    python -m repro store repair --store "remote://db1:7777|db2:7777"
     python -m repro worker --connect solver:7778           # remote solver
 """
 

@@ -144,11 +144,14 @@ def remote_report() -> PerfReport:
     :class:`~repro.service.remote.RemoteStore` client, a
     :class:`~repro.service.remote.RemoteExecutor` with one in-process
     worker — and runs a two-program batch through it. The interesting
-    stages: ``store.remote.rpc`` (client-observed store round trips, with
-    ``hits``/``misses``/``puts`` counters) and ``execute.worker<k>.wire``
-    (part round trip minus worker compute, i.e. serialization +
-    transport). Loopback TCP, so the numbers are the protocol floor — a
-    real deployment adds its network on top.
+    stages: ``store.remote.rpc`` (client-observed per-key store round
+    trips), ``store.remote.batched_rpc`` (one ``get_many``/``put_many``
+    frame per batch read phase — the claims re-check and the latency
+    table read through it, so cold reads are O(shards), not O(keys); the
+    ``store.remote.ops.<verb>`` counters show the split) and
+    ``execute.worker<k>.wire`` (part round trip minus worker compute,
+    i.e. serialization + transport). Loopback TCP, so the numbers are the
+    protocol floor — a real deployment adds its network on top.
     """
     import threading
 

@@ -29,8 +29,14 @@ store in a JSON-lines TCP protocol
 :class:`~repro.service.remote.RemoteStore` is the client-side
 ``StoreBackend`` (``--store remote://host:port``; a comma list of hosts
 becomes a :class:`ShardedStore` routing table, one digest range per
-host). Wire failures degrade to misses — a dead store server makes the
-service slower, never wrong. Solving distributes the same way:
+host, and a ``|``-separated replica list inside a route —
+``remote://h1a:p|h1b:p`` — a
+:class:`~repro.service.replication.ReplicatedStore`: ordered failover
+reads, fan-out writes, ``repro store repair`` re-sync). Batch reads go
+through ``get_many``/``put_many`` wire verbs, one round trip per host
+instead of per key. Wire failures degrade to misses — a dead store
+server makes the service slower, never wrong. Solving distributes the
+same way:
 ``--workers remote`` dispatches each batch's parts to connected
 ``repro worker`` processes (:class:`~repro.service.remote.RemoteExecutor`),
 with disconnect-triggered part reassignment and a local fallback, and the
@@ -116,6 +122,7 @@ from repro.service.remote import (
     RemoteUnavailable,
     worker_loop,
 )
+from repro.service.replication import ReplicatedStore, ReplicatedStoreStats
 from repro.service.service import BatchReport, CompileService, RequestReport
 from repro.service.sharding import ShardedStore, open_store, reshard
 from repro.service.store import (
@@ -138,6 +145,8 @@ __all__ = [
     "RemoteExecutor",
     "RemoteStore",
     "RemoteUnavailable",
+    "ReplicatedStore",
+    "ReplicatedStoreStats",
     "RequestReport",
     "SerialBackend",
     "ShardedStore",

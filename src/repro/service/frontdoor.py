@@ -18,7 +18,9 @@ TCP for ``--store remote://host:port`` clients (the distributed-store leg
 of the fabric); ``stats`` dumps merged and per-shard counter snapshots
 plus entry/convergence counts as JSON; ``reshard`` migrates between shard
 counts (``--shards``); ``revalidate`` retrains non-converged entries
-within an iteration budget.
+within an iteration budget; ``repair`` re-syncs the lagging replicas of a
+replicated remote spec (``remote://h1a:p|h1b:p``) from their peers,
+copying entries bit-identically.
 
 ``repro worker --connect host:port`` is the other leg: a solver process
 for a service started with ``--workers remote``, which dispatches each
@@ -119,8 +121,10 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store", required=True,
         help="store directory, remote://host:port of a `repro store serve`, "
-             "or a comma list of remote:// hosts (digest-range routing "
-             "table, one shard per host)",
+             "or a comma list of remote:// routes (digest-range routing "
+             "table, one shard per route; a route may be a |-separated "
+             "replica list, e.g. remote://h1a:p|h1b:p — failover reads, "
+             "fan-out writes)",
     )
     parser.add_argument(
         "--workers", type=_workers_arg, default=4,
@@ -373,6 +377,17 @@ def cmd_store(argv: Sequence[str]) -> int:
     )
     _add_engine_args(p_reval)
 
+    p_repair = sub.add_parser(
+        "repair",
+        help="re-sync lagging replicas of a replicated remote store from "
+             "their peers (entries copied bit-identically)",
+    )
+    p_repair.add_argument(
+        "--store", required=True,
+        help="replicated spec: remote://h1a:p|h1b:p[,remote://h2:p|...] — "
+             "every |-separated route is compared and caught up",
+    )
+
     args = parser.parse_args(argv)
     try:
         if args.action == "serve":
@@ -397,6 +412,17 @@ def cmd_store(argv: Sequence[str]) -> int:
         if args.action == "reshard":
             summary = reshard(args.store, args.shards, dest=args.dest)
             print(json.dumps(summary, sort_keys=True))
+            return 0
+        if args.action == "repair":
+            store = open_store(args.store)
+            if not hasattr(store, "repair"):
+                print(
+                    f"repro store: {args.store!r} has no replicas to "
+                    f"repair (use remote://hostA:p|hostB:p routes)",
+                    file=sys.stderr,
+                )
+                return 2
+            print(json.dumps(store.repair(), sort_keys=True))
             return 0
         # revalidate
         config, engine = _make_engine(args)

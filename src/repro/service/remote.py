@@ -38,7 +38,14 @@ Per-hop wire timings surface in ``repro perf``: every remote part outcome
 carries a ``wire`` stage (round-trip minus worker compute, i.e. transport
 + serialization), reported as ``execute.worker<k>.wire`` in the batch
 breakdown, and every :class:`RemoteStore` RPC is timed under
-``<stat_prefix>rpc`` in its perf recorder.
+``<stat_prefix>rpc`` (per-key verbs) or ``<stat_prefix>batched_rpc``
+(one ``get_many``/``put_many`` frame per host per batch read phase) in
+its perf recorder, with per-verb ``<stat_prefix>ops.<op>`` counters.
+
+Replication lives one layer up:
+:class:`~repro.service.replication.ReplicatedStore` composes the
+``fetch_*``/``send_*`` raising wire primitives defined here into ordered
+failover reads and fan-out writes over several ``RemoteStore`` peers.
 """
 
 from __future__ import annotations
@@ -67,9 +74,10 @@ from repro.service.store import (
     StoreVersionError,
     key_digest,
 )
-from repro.service.storeserver import decode_entry, encode_entry
+from repro.service.storeserver import MAX_BATCH_KEYS, decode_entry, encode_entry
 
 REMOTE_SCHEME = "remote://"
+REPLICA_SEP = "|"
 
 
 class RemoteUnavailable(ConnectionError):
@@ -92,6 +100,45 @@ def parse_remote_spec(spec: str) -> Tuple[str, int]:
             f"bad remote spec {spec!r}; expected remote://host:port"
         )
     return host, int(port)
+
+
+def coverage_from_keys(
+    held: "set[bytes]", groups: Sequence[GateGroup]
+) -> CoverageReport:
+    """Coverage resolved client-side from one ``keys`` round trip (the
+    canonical key already folds wire permutation, same as local). Shared
+    by the wire-backed stores, where a per-group peek would be a
+    serialized RTT per group."""
+    covered = 0
+    uncovered: Dict[bytes, GateGroup] = {}
+    for group in groups:
+        key = group.key()
+        if key in held:
+            covered += 1
+        else:
+            uncovered.setdefault(key, group)
+    return CoverageReport(
+        n_groups=len(groups),
+        n_covered=covered,
+        uncovered_unique=list(uncovered.values()),
+    )
+
+
+def split_replicas(spec: str) -> List[str]:
+    """``remote://h1a:p|h1b:p`` -> the ordered replica specs of one shard.
+
+    The ``remote://`` scheme needs to appear only once, on the first
+    replica (:func:`parse_remote_spec` accepts bare ``host:port``); every
+    piece must parse and none may be empty (``remote://h:p|`` is a typo'd
+    missing replica, not a request for an unreplicated store), so a bad
+    replica list fails at spec time, not on first failover.
+    """
+    parts = [part.strip() for part in str(spec).split(REPLICA_SEP)]
+    if not parts or any(not part for part in parts):
+        raise ValueError(f"empty replica in spec {spec!r}")
+    for part in parts:
+        parse_remote_spec(part)  # raises ValueError on garbage
+    return parts
 
 
 @dataclass
@@ -192,14 +239,21 @@ class RemoteStore(StoreBackend):
             raise ConnectionError("store server closed the connection")
         return json.loads(reply)
 
-    def _rpc(self, payload: Dict) -> Dict:
+    def _rpc(self, payload: Dict, stage: str = "rpc") -> Dict:
         """One request/response, reconnect-and-retry-once on wire failure.
 
         Raises :class:`RemoteUnavailable` when the retry also fails (the
         public methods translate that into their degraded result), and
         :class:`StoreVersionError` on a server-side fingerprint refusal.
+        Timed under ``<stat_prefix><stage>`` (``rpc`` for per-key ops,
+        ``batched_rpc`` for get_many/put_many frames), with a per-op
+        counter (``<stat_prefix>ops.<op>``) so a perf report shows *which*
+        verbs crossed the wire and how often — the O(shards)-not-O(keys)
+        claim for batched reads is asserted against exactly these names.
         """
-        with self._lock, self.perf.stage(self.stat_prefix + "rpc"):
+        op = str(payload.get("op"))
+        with self._lock, self.perf.stage(self.stat_prefix + stage):
+            self.perf.count(self.stat_prefix + "ops." + op)
             try:
                 response = self._roundtrip(payload)
             except (OSError, ValueError):
@@ -225,9 +279,74 @@ class RemoteStore(StoreBackend):
 
     def _count(self, field: str) -> None:
         """One stats increment, serialized (read-modify-write races)."""
+        self._count_n(field, 1)
+
+    def _count_n(self, field: str, n: int) -> None:
+        if n <= 0:
+            return
         with self._lock:
-            setattr(self.stats, field, getattr(self.stats, field) + 1)
-        self.perf.count(self.stat_prefix + field)
+            setattr(self.stats, field, getattr(self.stats, field) + n)
+        self.perf.count(self.stat_prefix + field, n)
+
+    # ----------------------------------------------------- raising wire ops
+    # fetch_*/send_* speak the protocol and RAISE RemoteUnavailable on a
+    # dead wire — no degrade, no hit/miss accounting. They are the
+    # building blocks the degrading StoreBackend methods below wrap, and
+    # the primitives ReplicatedStore's failover reads / repair are built
+    # from (a failover policy needs to *see* the wire failure, not a
+    # silently absorbed miss).
+
+    def fetch_keys(self) -> List[bytes]:
+        response = self._rpc({"op": "keys"})
+        return [bytes.fromhex(k) for k in response["keys"]]
+
+    def fetch_snapshot(self) -> PulseLibrary:
+        response = self._rpc({"op": "snapshot"})
+        library = PulseLibrary()
+        for payload in response["entries"]:
+            library.add(decode_entry(payload))
+        return library
+
+    def fetch_key(self, key: bytes, peek: bool = False) -> Optional[LibraryEntry]:
+        op = "peek" if peek else "get"
+        response = self._rpc({"op": op, "key": key.hex()})
+        if response["entry"] is None:
+            return None
+        return decode_entry(response["entry"])
+
+    def fetch_many(self, keys: Sequence[bytes]) -> List[Optional[LibraryEntry]]:
+        """One ``get_many`` round trip (chunked at the server's frame cap)."""
+        entries: List[Optional[LibraryEntry]] = []
+        for start in range(0, len(keys), MAX_BATCH_KEYS):
+            chunk = keys[start:start + MAX_BATCH_KEYS]
+            response = self._rpc(
+                {"op": "get_many", "keys": [k.hex() for k in chunk]},
+                stage="batched_rpc",
+            )
+            entries.extend(
+                decode_entry(p) if p is not None else None
+                for p in response["entries"]
+            )
+        return entries
+
+    def send_put(self, entry: LibraryEntry, flush: bool = True) -> None:
+        self._rpc({"op": "put", "entry": encode_entry(entry), "flush": flush})
+
+    def send_many(self, entries: Sequence[LibraryEntry], flush: bool = True) -> None:
+        """One ``put_many`` round trip (chunked; the last chunk flushes)."""
+        for start in range(0, len(entries), MAX_BATCH_KEYS):
+            chunk = entries[start:start + MAX_BATCH_KEYS]
+            self._rpc(
+                {
+                    "op": "put_many",
+                    "entries": [encode_entry(e) for e in chunk],
+                    "flush": flush and start + MAX_BATCH_KEYS >= len(entries),
+                },
+                stage="batched_rpc",
+            )
+
+    def send_flush(self) -> None:
+        self._rpc({"op": "flush"})
 
     # ------------------------------------------------------------------ api
     def __len__(self) -> int:
@@ -238,24 +357,19 @@ class RemoteStore(StoreBackend):
 
     def keys(self) -> List[bytes]:
         try:
-            response = self._rpc({"op": "keys"})
+            return self.fetch_keys()
         except RemoteUnavailable:
             self._degrade()
             return []
-        return [bytes.fromhex(k) for k in response["keys"]]
 
     def snapshot(self) -> PulseLibrary:
         """The server's full library; *empty* when the wire is down —
         the batch then plans cold, which is correct, just slower."""
         try:
-            response = self._rpc({"op": "snapshot"})
+            return self.fetch_snapshot()
         except RemoteUnavailable:
             self._degrade()
             return PulseLibrary()
-        library = PulseLibrary()
-        for payload in response["entries"]:
-            library.add(decode_entry(payload))
-        return library
 
     def library(self) -> PulseLibrary:
         """Alias for :meth:`snapshot` (remote has no live in-memory view)."""
@@ -263,60 +377,65 @@ class RemoteStore(StoreBackend):
 
     def get_key(self, key: bytes) -> Optional[LibraryEntry]:
         try:
-            response = self._rpc({"op": "get", "key": key.hex()})
+            entry = self.fetch_key(key)
         except RemoteUnavailable:
             self._degrade()
             self._count("misses")
             return None
-        if response["entry"] is None:
-            self._count("misses")
-            return None
-        self._count("hits")
-        return decode_entry(response["entry"])
+        self._count("hits" if entry is not None else "misses")
+        return entry
+
+    def get_many(self, keys: Sequence[bytes]) -> List[Optional[LibraryEntry]]:
+        """Batched reads: one ``get_many`` RPC instead of ``len(keys)``
+        ``get`` round trips, same per-key hit/miss accounting. A dead wire
+        degrades the whole frame to misses (one ``degraded`` bump)."""
+        if not keys:
+            return []
+        try:
+            entries = self.fetch_many(keys)
+        except RemoteUnavailable:
+            self._degrade()
+            self._count_n("misses", len(keys))
+            return [None] * len(keys)
+        hits = sum(1 for e in entries if e is not None)
+        self._count_n("hits", hits)
+        self._count_n("misses", len(entries) - hits)
+        return entries
 
     def peek_key(self, key: bytes) -> Optional[LibraryEntry]:
         try:
-            response = self._rpc({"op": "peek", "key": key.hex()})
+            return self.fetch_key(key, peek=True)
         except RemoteUnavailable:
             self._degrade()
             return None
-        if response["entry"] is None:
-            return None
-        return decode_entry(response["entry"])
 
     def put(self, entry: LibraryEntry, flush: bool = True) -> None:
         try:
-            self._rpc(
-                {"op": "put", "entry": encode_entry(entry), "flush": flush}
-            )
+            self.send_put(entry, flush)
         except RemoteUnavailable:
             self._degrade()  # cache write lost; the caller keeps its record
             return
         self._count("puts")
 
+    def put_many(self, entries: Sequence[LibraryEntry], flush: bool = True) -> None:
+        if not entries:
+            return
+        try:
+            self.send_many(entries, flush)
+        except RemoteUnavailable:
+            self._degrade()
+            return
+        self._count_n("puts", len(entries))
+
     def flush(self) -> None:
         try:
-            self._rpc({"op": "flush"})
+            self.send_flush()
         except RemoteUnavailable:
             self._degrade()
 
     def coverage(self, groups: Sequence[GateGroup]) -> CoverageReport:
-        """One ``keys`` round trip, membership resolved client-side (the
-        canonical key already folds wire permutation, same as local)."""
-        held = set(self.keys())
-        covered = 0
-        uncovered: Dict[bytes, GateGroup] = {}
-        for group in groups:
-            key = group.key()
-            if key in held:
-                covered += 1
-            else:
-                uncovered.setdefault(key, group)
-        return CoverageReport(
-            n_groups=len(groups),
-            n_covered=covered,
-            uncovered_unique=list(uncovered.values()),
-        )
+        """One ``keys`` round trip, membership client-side."""
+        return coverage_from_keys(set(self.keys()), groups)
 
     def claim_fingerprint(self, fingerprint: str) -> None:
         """Server-side guard: mismatch raises loudly; an unreachable
@@ -340,46 +459,7 @@ class RemoteStore(StoreBackend):
         """Hygiene pass with the compute on this side of the wire: pull the
         snapshot, retrain non-converged entries locally (same warm start
         and seed tag as the server-side pass), push the results back."""
-        from repro.core.engines import compile_with_engine
-        from repro.service.executor import seed_tag_for
-
-        candidates = sorted(
-            (e for e in self.snapshot().entries() if not e.converged),
-            key=lambda e: key_digest(e.group.key()),
-        )
-        spent = retrained = converged = 0
-        for entry in candidates:
-            if spent >= budget:
-                break
-            record = compile_with_engine(
-                engine,
-                entry.group,
-                warm_pulse=entry.pulse,
-                warm_source=entry.group,
-                seed_tag=seed_tag_for(entry.group),
-            )
-            spent += record.iterations
-            retrained += 1
-            if record.converged:
-                converged += 1
-            self.put(
-                LibraryEntry(
-                    group=entry.group,
-                    pulse=record.pulse,
-                    latency=record.latency,
-                    iterations=entry.iterations + record.iterations,
-                    converged=record.converged,
-                ),
-                flush=False,
-            )
-        if retrained:
-            self.flush()
-        return {
-            "retrained": retrained,
-            "converged": converged,
-            "iterations": spent,
-            "remaining": len(candidates) - retrained,
-        }
+        return revalidate_via_snapshot(self, engine, budget)
 
     def server_stats(self) -> Optional[Dict]:
         """The server's own counters (None when unreachable)."""
@@ -393,6 +473,59 @@ class RemoteStore(StoreBackend):
             "shards": response["shards"],
             "entries": response["entries"],
         }
+
+
+def revalidate_via_snapshot(store, engine, budget: int) -> Dict[str, int]:
+    """Client-side retrain of a wire-backed store's non-converged entries.
+
+    Pulls ``store.snapshot()``, retrains locally with the same warm start
+    and seed tag as the server-side pass, and pushes every result back in
+    one ``put_many`` frame — not a retrain loop's worth of per-key round
+    trips. Shared by :class:`RemoteStore` and
+    :class:`~repro.service.replication.ReplicatedStore` (where the
+    snapshot is a failover read and the push-back fans out to every live
+    replica).
+    """
+    from repro.core.engines import compile_with_engine
+    from repro.service.executor import seed_tag_for
+
+    candidates = sorted(
+        (e for e in store.snapshot().entries() if not e.converged),
+        key=lambda e: key_digest(e.group.key()),
+    )
+    spent = retrained = converged = 0
+    updated: List[LibraryEntry] = []
+    for entry in candidates:
+        if spent >= budget:
+            break
+        record = compile_with_engine(
+            engine,
+            entry.group,
+            warm_pulse=entry.pulse,
+            warm_source=entry.group,
+            seed_tag=seed_tag_for(entry.group),
+        )
+        spent += record.iterations
+        retrained += 1
+        if record.converged:
+            converged += 1
+        updated.append(
+            LibraryEntry(
+                group=entry.group,
+                pulse=record.pulse,
+                latency=record.latency,
+                iterations=entry.iterations + record.iterations,
+                converged=record.converged,
+            )
+        )
+    if updated:
+        store.put_many(updated)
+    return {
+        "retrained": retrained,
+        "converged": converged,
+        "iterations": spent,
+        "remaining": len(candidates) - retrained,
+    }
 
 
 # ---------------------------------------------------------------- executor

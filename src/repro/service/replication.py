@@ -1,0 +1,375 @@
+"""Replicated remote store: one digest range, N interchangeable hosts.
+
+A production store cannot treat a dead shard host as a permanent 0%-hit
+key range, so the routing table's unit is not a host but a *replica
+list*: ``remote://h1a:p|h1b:p`` names one shard whose entries live on
+every listed host. :class:`ReplicatedStore` is the
+:class:`~repro.service.store.StoreBackend` over such a list, built from
+the raising ``fetch_*``/``send_*`` wire primitives of
+:class:`~repro.service.remote.RemoteStore`:
+
+* **Reads fail over in order.** ``get``/``get_many``/``peek``/``keys``/
+  ``snapshot`` try replica 0 first and walk down the list on a wire
+  failure; each skip is counted per replica (``stats.failovers``,
+  ``stats_by_replica``), so a limping primary is visible in every batch
+  report. Only when *every* replica is unreachable does the read degrade
+  to a miss (``stats.degraded``) — the service then plans cold, which is
+  correct, just slower. Never wrong, never down while one replica lives.
+
+* **Writes fan out to every replica, best-effort.** A ``put`` that
+  reaches at least one live replica is a durable put; replicas that miss
+  it count a dropped write (their ``degraded`` counter) and fall behind —
+  visibly, not silently.
+
+* **``repair()`` re-syncs lagging replicas from their peers.** It
+  compares per-replica key sets (one ``keys`` round trip each) and copies
+  the missing entries with ``get_many``/``put_many`` frames. Entries
+  cross the wire as the same canonical ``entry_to_dict`` JSON the disk
+  files hold, so a repaired replica's entry files are *bit-identical* to
+  its peer's — the same guarantee ``repro store reshard`` gives locally.
+  An unreachable replica is skipped (the next repair pass catches it up);
+  repair after an outage is idempotent.
+
+The engine-fingerprint guard fans out too: every replica is claimed, a
+mismatch anywhere is raised loudly, and a claim absorbed while a replica
+was down is replayed by that replica's reconnect handshake — an outage
+never lets mismatched data slip into one copy of the shard.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.core.cache import CoverageReport, LibraryEntry, PulseLibrary
+from repro.grouping.group import GateGroup
+from repro.perf.instrument import PerfRecorder, recorder_or_null
+from repro.service.remote import (
+    RemoteStore,
+    RemoteStoreStats,
+    RemoteUnavailable,
+    coverage_from_keys,
+    revalidate_via_snapshot,
+    split_replicas,
+)
+from repro.service.store import StoreBackend
+
+T = TypeVar("T")
+
+
+@dataclass
+class ReplicatedStoreStats(RemoteStoreStats):
+    """Replica-set counters: wire degradations plus read failovers.
+
+    ``failovers`` counts reads that had to skip a dead replica and were
+    served by a later one — nonzero means a replica is down (or flapping)
+    while the data stays fully served. ``degraded`` keeps the
+    :class:`RemoteStoreStats` meaning: an operation absorbed after *all*
+    replicas failed (reads), plus every replica-level dropped write.
+    """
+
+    failovers: int = 0
+
+    def to_dict(self) -> Dict[str, float]:
+        payload = super().to_dict()
+        payload["failovers"] = self.failovers
+        return payload
+
+
+class ReplicatedStore(StoreBackend):
+    """:class:`StoreBackend` over an ordered list of replica hosts.
+
+    Replica order is priority order: replica 0 serves every read while it
+    is healthy, so put its closest/fastest copy first. All replicas are
+    assumed to hold (eventually, via fan-out writes and :meth:`repair`)
+    the same digest range — this class does no routing; a
+    :class:`~repro.service.sharding.ShardedStore` routes digest ranges
+    *onto* replica sets.
+    """
+
+    def __init__(
+        self,
+        spec,
+        timeout_s: float = 30.0,
+        perf: Optional[PerfRecorder] = None,
+        stat_prefix: str = "store.remote.",
+    ) -> None:
+        specs = split_replicas(spec) if isinstance(spec, str) else [
+            s for piece in spec for s in split_replicas(piece)
+        ]
+        if not specs:
+            raise ValueError("ReplicatedStore needs at least one replica spec")
+        self.perf = recorder_or_null(perf)
+        self.stat_prefix = stat_prefix
+        self.replicas: List[RemoteStore] = [
+            RemoteStore(
+                s,
+                timeout_s=timeout_s,
+                perf=self.perf,
+                stat_prefix=f"{stat_prefix}r{i}.",
+            )
+            for i, s in enumerate(specs)
+        ]
+        self._lock = threading.Lock()
+        self._stats = ReplicatedStoreStats()
+        self.failovers_by_replica: List[int] = [0] * len(self.replicas)
+
+    @property
+    def address(self) -> str:
+        return "|".join(r.address for r in self.replicas)
+
+    def close(self) -> None:
+        for replica in self.replicas:
+            replica.close()
+
+    # ------------------------------------------------------------- counters
+    @property
+    def stats(self) -> ReplicatedStoreStats:
+        """Merged snapshot: logical read/write counters from this store,
+        ``degraded`` folded in from every replica's dropped writes."""
+        merged = ReplicatedStoreStats()
+        with self._lock:
+            merged.hits = self._stats.hits
+            merged.misses = self._stats.misses
+            merged.puts = self._stats.puts
+            merged.evictions = self._stats.evictions
+            merged.failovers = self._stats.failovers
+            merged.degraded = self._stats.degraded
+        for replica in self.replicas:
+            merged.degraded += replica.stats.degraded
+        return merged
+
+    def stats_by_replica(self) -> List[Dict[str, float]]:
+        """Per-replica health: each replica's own wire counters plus the
+        failovers *it* caused (reads that skipped it because it was down)."""
+        with self._lock:
+            failovers = list(self.failovers_by_replica)
+        rows = []
+        for index, replica in enumerate(self.replicas):
+            row = replica.stats.to_dict()
+            row["failovers"] = failovers[index]
+            row["address"] = replica.address
+            rows.append(row)
+        return rows
+
+    def _count_n(self, field: str, n: int) -> None:
+        if n <= 0:
+            return
+        with self._lock:
+            setattr(self._stats, field, getattr(self._stats, field) + n)
+        self.perf.count(self.stat_prefix + field, n)
+
+    # ---------------------------------------------------------------- reads
+    def _failover_read(self, op: Callable[[RemoteStore], T]) -> T:
+        """``op`` against the first live replica, in priority order.
+
+        A wire failure at replica ``i`` is counted (per replica and in the
+        merged ``failovers``) and the next replica is tried; raises
+        :class:`RemoteUnavailable` only when the whole set is down.
+        """
+        last: Optional[RemoteUnavailable] = None
+        for index, replica in enumerate(self.replicas):
+            try:
+                result = op(replica)
+            except RemoteUnavailable as exc:
+                with self._lock:
+                    self.failovers_by_replica[index] += 1
+                    self._stats.failovers += 1
+                self.perf.count(f"{self.stat_prefix}failover.r{index}")
+                last = exc
+                continue
+            return result
+        raise RemoteUnavailable(
+            f"all {len(self.replicas)} replicas of {self.address} "
+            f"unreachable"
+        ) from last
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, group: GateGroup) -> bool:
+        return self.peek_key(group.key()) is not None
+
+    def keys(self) -> List[bytes]:
+        try:
+            return self._failover_read(lambda r: r.fetch_keys())
+        except RemoteUnavailable:
+            self._degrade()
+            return []
+
+    def snapshot(self) -> PulseLibrary:
+        try:
+            return self._failover_read(lambda r: r.fetch_snapshot())
+        except RemoteUnavailable:
+            self._degrade()
+            return PulseLibrary()
+
+    def library(self) -> PulseLibrary:
+        return self.snapshot()
+
+    def get_key(self, key: bytes) -> Optional[LibraryEntry]:
+        try:
+            entry = self._failover_read(lambda r: r.fetch_key(key))
+        except RemoteUnavailable:
+            self._degrade()
+            self._count_n("misses", 1)
+            return None
+        self._count_n("hits" if entry is not None else "misses", 1)
+        return entry
+
+    def get_many(self, keys: Sequence[bytes]) -> List[Optional[LibraryEntry]]:
+        if not keys:
+            return []
+        try:
+            entries = self._failover_read(lambda r: r.fetch_many(keys))
+        except RemoteUnavailable:
+            self._degrade()
+            self._count_n("misses", len(keys))
+            return [None] * len(keys)
+        hits = sum(1 for e in entries if e is not None)
+        self._count_n("hits", hits)
+        self._count_n("misses", len(entries) - hits)
+        return entries
+
+    def peek_key(self, key: bytes) -> Optional[LibraryEntry]:
+        try:
+            return self._failover_read(lambda r: r.fetch_key(key, peek=True))
+        except RemoteUnavailable:
+            self._degrade()
+            return None
+
+    def coverage(self, groups: Sequence[GateGroup]) -> CoverageReport:
+        """One ``keys`` round trip (failover), membership client-side."""
+        return coverage_from_keys(set(self.keys()), groups)
+
+    def _degrade(self) -> None:
+        self._count_n("degraded", 1)
+
+    # --------------------------------------------------------------- writes
+    def _fan_out_write(
+        self, send: Callable[[RemoteStore], None], puts_per_delivery: int
+    ) -> int:
+        """``send`` to every replica; returns how many accepted it.
+
+        A replica that drops the write counts its own ``degraded`` (the
+        lag is visible in ``stats_by_replica`` and closable by
+        :meth:`repair`); delivery to at least one live replica makes the
+        logical write durable.
+        """
+        delivered = 0
+        for replica in self.replicas:
+            try:
+                send(replica)
+            except RemoteUnavailable:
+                replica._degrade()  # dropped write at this replica
+                continue
+            if puts_per_delivery:
+                replica._count_n("puts", puts_per_delivery)
+            delivered += 1
+        return delivered
+
+    def put(self, entry: LibraryEntry, flush: bool = True) -> None:
+        delivered = self._fan_out_write(
+            lambda r: r.send_put(entry, flush), puts_per_delivery=1
+        )
+        if delivered:
+            self._count_n("puts", 1)
+        else:
+            self._degrade()  # fully lost cache write; caller keeps its record
+
+    def put_many(self, entries: Sequence[LibraryEntry], flush: bool = True) -> None:
+        if not entries:
+            return
+        delivered = self._fan_out_write(
+            lambda r: r.send_many(entries, flush),
+            puts_per_delivery=len(entries),
+        )
+        if delivered:
+            self._count_n("puts", len(entries))
+        else:
+            self._degrade()
+
+    def flush(self) -> None:
+        for replica in self.replicas:
+            replica.flush()  # absorbs + counts per replica
+
+    def claim_fingerprint(self, fingerprint: str) -> None:
+        """Every replica is claimed: a mismatch anywhere raises loudly; an
+        unreachable replica absorbs the claim and replays it on its
+        reconnect handshake (see :meth:`RemoteStore.claim_fingerprint`)."""
+        for replica in self.replicas:
+            replica.claim_fingerprint(fingerprint)
+
+    def add_eviction_guard(self, guard) -> None:
+        """No-op: eviction is each store server's policy."""
+
+    def revalidate(self, engine, budget: int) -> Dict[str, int]:
+        return revalidate_via_snapshot(self, engine, budget)
+
+    # --------------------------------------------------------------- repair
+    def repair(self) -> Dict:
+        """Re-sync lagging replicas from their peers, bit-identically.
+
+        Per-replica ``keys`` digests are compared; every reachable replica
+        missing entries gets them copied over in ``get_many``/``put_many``
+        frames from the first peer that holds each key. Entries travel as
+        the canonical ``entry_to_dict`` JSON the entry files themselves
+        hold, so the repaired replica's files match its peer's byte for
+        byte. Unreachable replicas are skipped — run repair again once
+        they are back. Returns a summary (``entries`` = union size,
+        ``copied`` total, ``copied_by_replica``).
+        """
+        views: List[Optional[set]] = []
+        for replica in self.replicas:
+            try:
+                views.append(set(replica.fetch_keys()))
+            except RemoteUnavailable:
+                views.append(None)
+        reachable = [i for i, view in enumerate(views) if view is not None]
+        if not reachable:
+            raise RemoteUnavailable(
+                f"no replica of {self.address} reachable; nothing to repair"
+            )
+        union: set = set()
+        for index in reachable:
+            union |= views[index]
+        copied_by_replica = [0] * len(self.replicas)
+        for index in reachable:
+            missing = sorted(union - views[index])
+            if not missing:
+                continue
+            by_source: Dict[int, List[bytes]] = {}
+            for key in missing:
+                source = next(
+                    (
+                        j
+                        for j in reachable
+                        if j != index and key in views[j]
+                    ),
+                    None,
+                )
+                if source is not None:
+                    by_source.setdefault(source, []).append(key)
+            fetched: List[LibraryEntry] = []
+            for source, keys in sorted(by_source.items()):
+                try:
+                    fetched.extend(
+                        e
+                        for e in self.replicas[source].fetch_many(keys)
+                        if e is not None
+                    )
+                except RemoteUnavailable:
+                    continue  # source died mid-repair; next pass catches it
+            if fetched:
+                # Loud on failure: the caller asked for this replica to be
+                # repaired, so losing it mid-copy is an error, not a miss.
+                self.replicas[index].send_many(fetched)
+                copied_by_replica[index] = len(fetched)
+        return {
+            "replicas": len(self.replicas),
+            "reachable": len(reachable),
+            "entries": len(union),
+            "copied": sum(copied_by_replica),
+            "copied_by_replica": copied_by_replica,
+        }

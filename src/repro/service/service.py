@@ -86,6 +86,17 @@ class BatchReport:
         return self.n_covered / self.n_unique
 
 
+def _record_from_entry(entry: LibraryEntry) -> CompileRecord:
+    """A stored entry replayed as the record its solve produced — what a
+    salvaged claim hands to every batch waiting on the key."""
+    return CompileRecord(
+        latency=entry.latency,
+        iterations=entry.iterations,
+        converged=entry.converged,
+        pulse=entry.pulse,
+    )
+
+
 def engine_fingerprint(engine) -> str:
     """Identity of the results an engine produces (stamped on the store).
 
@@ -194,20 +205,32 @@ class CompileService:
         *salvaged* from the live store: another batch may have persisted the
         key between this batch's snapshot and its claim — without the
         re-check that window would compile (and pay for) the group twice.
+        The re-check is one ``get_many`` over every key this batch owns
+        (one read RPC per remote shard, not one per key); a failed batch
+        must still fail every claim it took, so the batched lookup runs
+        inside the same protected region as the solves.
         """
-        owned: List[int] = []
-        salvaged: Dict[int, CompileRecord] = {}
+        pending: List[Tuple[int, GateGroup]] = []
         waiting: Dict[int, "Future"] = {}
         for vertex, group in enumerate(plan.uncovered):
-            kind, payload = self._claim(group)
-            if kind == "owned":
-                owned.append(vertex)
-            elif kind == "salvaged":
-                salvaged[vertex] = payload
+            is_owner, future = self.coalescer.claim(group.key())
+            if is_owner:
+                pending.append((vertex, group))
             else:
-                waiting[vertex] = payload
+                waiting[vertex] = future
+        owned: List[int] = []
+        salvaged: Dict[int, CompileRecord] = {}
         resolved: set = set()
         try:
+            with perf.stage("service.store"):
+                live = self.store.get_many([g.key() for _, g in pending])
+            for (vertex, group), entry in zip(pending, live):
+                if entry is None:
+                    owned.append(vertex)
+                    continue
+                record = _record_from_entry(entry)
+                self.coalescer.resolve(group.key(), record)
+                salvaged[vertex] = record
             # Constructed inside the protected region: an invalid backend or
             # warm spec must fail the claims too, not strand them.
             executor = WorkerPoolExecutor(
@@ -228,11 +251,12 @@ class CompileService:
             with perf.stage("service.store"):
                 self.store.flush()  # one manifest rewrite per batch
         except BaseException as error:
-            # Never strand a claim: every owned key that was not resolved
-            # must fail, or each batch waiting on it deadlocks forever.
-            for vertex in owned:
-                if vertex not in resolved:
-                    self.coalescer.fail(plan.uncovered[vertex].key(), error)
+            # Never strand a claim: every claimed key that was neither
+            # salvaged nor resolved must fail, or each batch waiting on it
+            # deadlocks forever.
+            for vertex, group in pending:
+                if vertex not in resolved and vertex not in salvaged:
+                    self.coalescer.fail(group.key(), error)
             raise
         for vertex, record in salvaged.items():
             records[vertex] = record
@@ -244,23 +268,6 @@ class CompileService:
             trivial_records,
             {"compiled": len(owned), "coalesced": len(waiting)},
         )
-
-    def _claim(self, group: GateGroup):
-        """('owned'|'salvaged'|'waiting', record/future) for one group."""
-        is_owner, future = self.coalescer.claim(group.key())
-        if not is_owner:
-            return "waiting", future
-        entry = self.store.get(group)  # live re-check, counts a hit/miss
-        if entry is None:
-            return "owned", None
-        record = CompileRecord(
-            latency=entry.latency,
-            iterations=entry.iterations,
-            converged=entry.converged,
-            pulse=entry.pulse,
-        )
-        self.coalescer.resolve(group.key(), record)
-        return "salvaged", record
 
     def _persist(self, group: GateGroup, record: CompileRecord) -> None:
         # flush=False: the entry file is durable now, the manifest rewrite
@@ -280,25 +287,51 @@ class CompileService:
     def _compile_trivial(
         self, plan: BatchPlan, perf: PerfRecorder
     ) -> List[CompileRecord]:
-        """Virtual-diagonal groups: instant solves, same claim semantics."""
-        trivial_records: List[CompileRecord] = []
+        """Virtual-diagonal groups: instant solves, same claim semantics.
+
+        Claims are taken up front and live-re-checked with one ``get_many``
+        (the trivial path must not reintroduce per-key read RPCs a remote
+        shard would pay serially); a solve failure fails every still-open
+        claim before propagating, same as the main execute path.
+        """
+        trivial_records: List[Optional[CompileRecord]] = [None] * len(plan.trivial)
         with perf.stage("service.store"):
-            for group in plan.trivial:
-                kind, payload = self._claim(group)
-                if kind == "owned":
-                    try:
-                        record = compile_with_engine(
-                            self.engine, group, seed_tag=seed_tag_for(group)
-                        )
-                        self._persist(group, record)
-                    except BaseException as error:
-                        self.coalescer.fail(group.key(), error)
-                        raise
-                elif kind == "salvaged":
-                    record = payload
+            pending: List[int] = []
+            waiting: Dict[int, "Future"] = {}
+            for index, group in enumerate(plan.trivial):
+                is_owner, future = self.coalescer.claim(group.key())
+                if is_owner:
+                    pending.append(index)
                 else:
-                    record = payload.result()
-                trivial_records.append(record)
+                    waiting[index] = future
+            owned: List[int] = []
+            resolved: set = set()
+            try:
+                live = self.store.get_many(
+                    [plan.trivial[i].key() for i in pending]
+                )
+                for index, entry in zip(pending, live):
+                    if entry is None:
+                        owned.append(index)
+                        continue
+                    record = _record_from_entry(entry)
+                    self.coalescer.resolve(plan.trivial[index].key(), record)
+                    trivial_records[index] = record
+                for index in owned:
+                    group = plan.trivial[index]
+                    record = compile_with_engine(
+                        self.engine, group, seed_tag=seed_tag_for(group)
+                    )
+                    self._persist(group, record)
+                    resolved.add(index)
+                    trivial_records[index] = record
+            except BaseException as error:
+                for index in pending:
+                    if index not in resolved and trivial_records[index] is None:
+                        self.coalescer.fail(plan.trivial[index].key(), error)
+                raise
+            for index, future in waiting.items():
+                trivial_records[index] = future.result()
         return trivial_records
 
     def _latency_table(
@@ -309,8 +342,10 @@ class CompileService:
         trivial_records: Sequence[CompileRecord],
     ) -> Dict[bytes, float]:
         latencies: Dict[bytes, float] = {}
-        for key in plan.covered_keys:
-            entry = self.store.get_key(key)
+        # One get_many over every covered key: the warm-path read is a
+        # single round trip per remote shard instead of a hit per key.
+        covered = list(plan.covered_keys)
+        for key, entry in zip(covered, self.store.get_many(covered)):
             if entry is None:
                 # A bounded store can have LRU-evicted a covered key while
                 # this batch was putting; the planning snapshot still has it.

@@ -30,7 +30,12 @@ host per digest range, same ``shard_of`` arithmetic (``open_store`` takes
 a comma-separated ``remote://`` list and builds the routing table in
 order). Each host runs ``repro store serve`` over its own ordinary store
 directory, so the distributed layout is made of the same durable parts as
-the local one.
+the local one. A route may list *replicas* —
+``remote://h1a:p|h1b:p,remote://h2:p`` maps shard 0's digest range onto a
+:class:`~repro.service.replication.ReplicatedStore` over hosts h1a/h1b
+(ordered failover reads, fan-out writes, ``repro store repair``
+re-syncing) and shard 1's onto the single host h2, so one dead host is a
+few counted failovers, not a permanently cold key range.
 
 The shard map is written once at store creation and validated on every
 open: opening with the wrong expected shard count — or pointing N-shard
@@ -202,8 +207,14 @@ class ShardedStore(StoreBackend):
         n_shards: Optional[int],
         expected_shards: Optional[int],
     ) -> None:
-        """Build the store from a routing table of ``remote://`` hosts."""
-        from repro.service.remote import RemoteStore, is_remote_spec
+        """Build the store from a routing table of ``remote://`` routes
+        (each route a host, or a ``|``-separated replica list)."""
+        from repro.service.remote import (
+            RemoteStore,
+            is_remote_spec,
+            split_replicas,
+        )
+        from repro.service.replication import ReplicatedStore
 
         if root is not None:
             raise StoreVersionError(
@@ -224,15 +235,31 @@ class ShardedStore(StoreBackend):
         self.routes = routes
         self.n_shards = len(routes)
         self.max_entries = None  # bounds are each store server's policy
-        self.shards = [
-            RemoteStore(
-                spec, perf=self.perf, stat_prefix=f"store.shard{i}."
-            )
-            for i, spec in enumerate(routes)
-        ]
+        self.shards = []
+        for i, spec in enumerate(routes):
+            try:
+                replicas = split_replicas(spec)
+            except ValueError as exc:
+                raise StoreVersionError(f"bad route {spec!r}: {exc}") from exc
+            if len(replicas) > 1:
+                self.shards.append(
+                    ReplicatedStore(
+                        replicas,
+                        perf=self.perf,
+                        stat_prefix=f"store.shard{i}.",
+                    )
+                )
+            else:
+                self.shards.append(
+                    RemoteStore(
+                        replicas[0],
+                        perf=self.perf,
+                        stat_prefix=f"store.shard{i}.",
+                    )
+                )
 
     # -------------------------------------------------------------- routing
-    def shard_for_key(self, key: bytes) -> PulseStore:
+    def shard_for_key(self, key: bytes) -> StoreBackend:
         return self.shards[shard_of(key_digest(key), self.n_shards)]
 
     # ------------------------------------------------------------------ api
@@ -240,18 +267,21 @@ class ShardedStore(StoreBackend):
     def stats(self) -> StoreStats:
         """Merged per-shard counters (a fresh snapshot each access)."""
         if self.routes is not None:
-            from repro.service.remote import RemoteStoreStats
+            from repro.service.replication import ReplicatedStoreStats
 
-            merged = RemoteStoreStats()
+            merged = ReplicatedStoreStats()
         else:
             merged = StoreStats()
         for shard in self.shards:
-            merged.hits += shard.stats.hits
-            merged.misses += shard.stats.misses
-            merged.puts += shard.stats.puts
-            merged.evictions += shard.stats.evictions
+            shard_stats = shard.stats
+            merged.hits += shard_stats.hits
+            merged.misses += shard_stats.misses
+            merged.puts += shard_stats.puts
+            merged.evictions += shard_stats.evictions
             if hasattr(merged, "degraded"):
-                merged.degraded += getattr(shard.stats, "degraded", 0)
+                merged.degraded += getattr(shard_stats, "degraded", 0)
+            if hasattr(merged, "failovers"):
+                merged.failovers += getattr(shard_stats, "failovers", 0)
         return merged
 
     def stats_by_shard(self) -> List[Dict[str, float]]:
@@ -286,11 +316,43 @@ class ShardedStore(StoreBackend):
     def get_key(self, key: bytes) -> Optional[LibraryEntry]:
         return self.shard_for_key(key).get_key(key)
 
+    def get_many(self, keys: Sequence[bytes]) -> List[Optional[LibraryEntry]]:
+        """Batched reads, one ``get_many`` per *shard* touched.
+
+        Keys are bucketed by digest range and each bucket is answered by
+        its shard's own ``get_many`` — a remote shard answers its whole
+        bucket in one round trip, so a cold batch costs O(shards) read
+        RPCs, not O(keys). Results come back aligned with ``keys``.
+        """
+        if not keys:
+            return []
+        buckets: Dict[int, List[int]] = {}
+        for position, key in enumerate(keys):
+            index = shard_of(key_digest(key), self.n_shards)
+            buckets.setdefault(index, []).append(position)
+        results: List[Optional[LibraryEntry]] = [None] * len(keys)
+        for index, positions in sorted(buckets.items()):
+            entries = self.shards[index].get_many(
+                [keys[p] for p in positions]
+            )
+            for position, entry in zip(positions, entries):
+                results[position] = entry
+        return results
+
     def peek_key(self, key: bytes) -> Optional[LibraryEntry]:
         return self.shard_for_key(key).peek_key(key)
 
     def put(self, entry: LibraryEntry, flush: bool = True) -> None:
         self.shard_for_key(entry.group.key()).put(entry, flush=flush)
+
+    def put_many(self, entries: Sequence[LibraryEntry], flush: bool = True) -> None:
+        """Batched writes: one ``put_many`` per shard touched."""
+        buckets: Dict[int, List[LibraryEntry]] = {}
+        for entry in entries:
+            index = shard_of(key_digest(entry.group.key()), self.n_shards)
+            buckets.setdefault(index, []).append(entry)
+        for index, bucket in sorted(buckets.items()):
+            self.shards[index].put_many(bucket, flush=flush)
 
     def flush(self) -> None:
         for shard in self.shards:
@@ -325,6 +387,25 @@ class ShardedStore(StoreBackend):
     def claim_fingerprint(self, fingerprint: str) -> None:
         for shard in self.shards:
             shard.claim_fingerprint(fingerprint)
+
+    def repair(self) -> Dict:
+        """Re-sync lagging replicas on every replicated shard.
+
+        Shards without replicas (local directories, single remote hosts)
+        have no peers to sync from and are skipped with a zero row. The
+        summary aggregates :meth:`ReplicatedStore.repair` per shard.
+        """
+        per_shard: List[Dict] = []
+        copied = 0
+        for index, shard in enumerate(self.shards):
+            if not hasattr(shard, "repair"):
+                per_shard.append({"shard": index, "copied": 0, "replicas": 1})
+                continue
+            summary = shard.repair()
+            summary["shard"] = index
+            per_shard.append(summary)
+            copied += summary["copied"]
+        return {"copied": copied, "shards": per_shard}
 
     def add_eviction_guard(self, guard: EvictionGuard) -> None:
         for shard in self.shards:
@@ -367,8 +448,12 @@ def open_store(
       :class:`~repro.service.remote.RemoteStore`; a comma-separated list
       of them opens a routed :class:`ShardedStore` whose digest ranges map
       onto the listed hosts in order (``shards`` — when given — must match
-      the host count). ``max_entries`` is refused for remote specs: the
-      bound is each store server's policy.
+      the host count). Within a route, a ``|``-separated replica list
+      (``remote://h1a:p|h1b:p``) opens a
+      :class:`~repro.service.replication.ReplicatedStore` for that digest
+      range: ordered failover reads, fan-out writes, ``repro store
+      repair``. ``max_entries`` is refused for remote specs: the bound is
+      each store server's policy.
     """
     root = str(root)
     if "remote://" in root:
@@ -376,7 +461,12 @@ def open_store(
         # only a leading one would let `/local/dir,remote://h:p` fall
         # through and silently open a fresh local store at that literal
         # path, never touching the remote at all.
-        from repro.service.remote import RemoteStore, is_remote_spec
+        from repro.service.remote import (
+            RemoteStore,
+            is_remote_spec,
+            split_replicas,
+        )
+        from repro.service.replication import ReplicatedStore
 
         routes = [part.strip() for part in root.split(",") if part.strip()]
         if not all(is_remote_spec(r) for r in routes):
@@ -389,8 +479,18 @@ def open_store(
                 "--max-entries applies to the store server's own store, "
                 "not to a remote:// client"
             )
+        for route in routes:
+            try:
+                split_replicas(route)
+            except ValueError as exc:
+                raise StoreVersionError(
+                    f"bad route {route!r} in store spec: {exc}"
+                ) from exc
         if len(routes) == 1 and (shards is None or shards == 1):
-            return RemoteStore(routes[0], perf=perf)
+            replicas = split_replicas(routes[0])
+            if len(replicas) > 1:
+                return ReplicatedStore(replicas, perf=perf)
+            return RemoteStore(replicas[0], perf=perf)
         return ShardedStore(routes=routes, expected_shards=shards, perf=perf)
     if is_sharded(root):
         return ShardedStore(

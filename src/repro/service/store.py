@@ -151,6 +151,9 @@ class StoreBackend(abc.ABC):
       plans and solves against;
     * ``put`` is durable before it returns; ``flush`` makes deferred
       manifest state (and recency bumps) visible to future (re)loads;
+    * ``get_many``/``put_many`` are the batched spellings with identical
+      per-key semantics — the service reads through them so a backend on
+      the far side of a wire pays one round trip per host, not per key;
     * ``stats`` aggregates hit/miss/put/eviction counters for this
       instance (a sharded backend merges per-shard counters);
     * ``claim_fingerprint`` refuses to serve results produced under a
@@ -201,6 +204,30 @@ class StoreBackend(abc.ABC):
     def get(self, group: GateGroup) -> Optional[LibraryEntry]:
         """Entry for ``group`` (hit/miss counted, recency bumped)."""
         return self.get_key(group.key())
+
+    def get_many(self, keys: Sequence[bytes]) -> List[Optional[LibraryEntry]]:
+        """Batched :meth:`get_key`: one result slot per key, in order.
+
+        Accounting matches the per-key loop (each key counts a hit or a
+        miss, hits bump recency). This default *is* that loop — local
+        backends pay nothing for batching — but wire-crossing backends
+        override it to answer the whole list in one round trip per host
+        (``get_many`` on the store-server protocol), so a cold batch costs
+        O(shards) read RPCs instead of O(keys).
+        """
+        return [self.get_key(key) for key in keys]
+
+    def put_many(self, entries: Sequence[LibraryEntry], flush: bool = True) -> None:
+        """Batched :meth:`put`: every entry durable before return.
+
+        The default defers the manifest rewrite to one trailing
+        :meth:`flush`; remote backends override it to ship the whole list
+        in one ``put_many`` round trip per host.
+        """
+        for entry in entries:
+            self.put(entry, flush=False)
+        if flush:
+            self.flush()
 
     def stats_by_shard(self) -> List[Dict[str, float]]:
         """Per-shard stats snapshots; a single directory is one 'shard'."""

@@ -14,6 +14,10 @@ Wire protocol (requests carry ``op``; responses carry ``ok``)::
     {"op": "peek", "key": "<hex>"}                  # no accounting
         -> {"ok": true, "entry": "<b64>"|null}
     {"op": "put",  "entry": "<b64>", "flush": true} -> {"ok": true}
+    {"op": "get_many", "keys": ["<hex>", ...]}      # 1..MAX_BATCH_KEYS keys
+        -> {"ok": true, "entries": ["<b64>"|null, ...]}  # aligned with keys
+    {"op": "put_many", "entries": ["<b64>", ...], "flush": true}
+        -> {"ok": true, "n": N}
     {"op": "snapshot"} -> {"ok": true, "entries": ["<b64>", ...]}
     {"op": "keys"}     -> {"ok": true, "keys": ["<hex>", ...]}
     {"op": "flush"}    -> {"ok": true}
@@ -25,10 +29,14 @@ Wire protocol (requests carry ``op``; responses carry ``ok``)::
 
 Entry payloads are the ``entry_to_dict`` JSON, base64-framed so a line can
 never be split by embedded content, whatever the entry holds. Errors come
-back as ``{"ok": false, "error": msg, "kind": k}`` with ``kind`` one of
-``"fingerprint"`` (engine-identity mismatch — the client re-raises it as a
-loud :class:`~repro.service.store.StoreVersionError`), ``"bad-request"``
-(malformed line/op), or ``"server"`` (the store raised). The engine
+back as ``{"ok": false, "error": msg, "kind": k, "op": <op>}`` with
+``kind`` one of ``"fingerprint"`` (engine-identity mismatch — the client
+re-raises it as a loud :class:`~repro.service.store.StoreVersionError`),
+``"bad-request"`` (malformed line/op — including a ``get_many`` with an
+empty or > ``MAX_BATCH_KEYS`` key list, and a truncated base64 frame), or
+``"server"`` (the store raised); the echoed ``op`` keeps the error
+correlatable on a pipelined connection. A protocol error is always an
+*answered line*, never a dropped connection. The engine
 fingerprint guard runs *server-side* against the server's persistent
 store, so a mismatching client is refused no matter how it connects; the
 stamp survives server restarts because ``claim_fingerprint`` flushes it
@@ -51,6 +59,12 @@ from typing import Dict, Optional, Tuple
 from repro.core.cache import LibraryEntry, entry_from_dict, entry_to_dict
 from repro.service.store import StoreBackend, StoreVersionError
 
+# Upper bound on one get_many/put_many frame. Far above any real batch
+# (a batch's unique-group count is hundreds at most) but small enough
+# that a malformed or hostile request cannot make the server materialize
+# an unbounded response line.
+MAX_BATCH_KEYS = 10000
+
 
 def encode_entry(entry: LibraryEntry) -> str:
     """Base64-framed ``entry_to_dict`` JSON (one wire token per entry)."""
@@ -63,8 +77,29 @@ def decode_entry(payload: str) -> LibraryEntry:
     return entry_from_dict(json.loads(base64.b64decode(payload.encode("ascii"))))
 
 
-def _error(message: str, kind: str = "server") -> Dict:
-    return {"ok": False, "error": message, "kind": kind}
+def _error(message: str, kind: str = "server", op: Optional[str] = None) -> Dict:
+    payload = {"ok": False, "error": message, "kind": kind}
+    if op is not None:
+        # Echo the op so a pipelined client can correlate the refusal
+        # with the request that earned it (responses are in order, but a
+        # batch script reading a log needs more than position).
+        payload["op"] = str(op)
+    return payload
+
+
+def _batch_list(request: Dict, field: str) -> list:
+    """Validate a get_many/put_many list: present, non-empty, bounded."""
+    value = request.get(field)
+    if not isinstance(value, list):
+        raise ValueError(f"{field!r} must be a list")
+    if not value:
+        raise ValueError(f"{field!r} must not be empty (batch of nothing)")
+    if len(value) > MAX_BATCH_KEYS:
+        raise ValueError(
+            f"{field!r} lists {len(value)} items; the server caps one "
+            f"frame at {MAX_BATCH_KEYS} — split the batch"
+        )
+    return value
 
 
 class StoreServer:
@@ -195,11 +230,14 @@ class StoreServer:
                 return {"ok": True, "bye": True}, True
             return self._dispatch(op, request), False
         except StoreVersionError as exc:
-            return _error(str(exc), kind="fingerprint"), False
+            return _error(str(exc), kind="fingerprint", op=op), False
         except (KeyError, ValueError, TypeError) as exc:
-            return _error(f"bad {op!r} request: {exc}", kind="bad-request"), False
+            return (
+                _error(f"bad {op!r} request: {exc}", kind="bad-request", op=op),
+                False,
+            )
         except Exception as exc:  # the store itself failed; keep serving
-            return _error(f"{type(exc).__name__}: {exc}"), False
+            return _error(f"{type(exc).__name__}: {exc}", op=op), False
 
     def _dispatch(self, op: str, request: Dict) -> Dict:
         store = self.store
@@ -217,6 +255,21 @@ class StoreServer:
                 flush=bool(request.get("flush", True)),
             )
             return {"ok": True}
+        if op == "get_many":
+            keys = [bytes.fromhex(k) for k in _batch_list(request, "keys")]
+            entries = store.get_many(keys)
+            return {
+                "ok": True,
+                "entries": [
+                    encode_entry(e) if e is not None else None for e in entries
+                ],
+            }
+        if op == "put_many":
+            entries = [
+                decode_entry(p) for p in _batch_list(request, "entries")
+            ]
+            store.put_many(entries, flush=bool(request.get("flush", True)))
+            return {"ok": True, "n": len(entries)}
         if op == "snapshot":
             snapshot = store.snapshot()
             return {
@@ -238,4 +291,4 @@ class StoreServer:
         if op == "fingerprint":
             store.claim_fingerprint(str(request["fingerprint"]))
             return {"ok": True}
-        return _error(f"unknown op {op!r}", kind="bad-request")
+        return _error(f"unknown op {op!r}", kind="bad-request", op=op)

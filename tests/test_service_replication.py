@@ -1,0 +1,308 @@
+"""Replicated shard routing: failover reads, fan-out writes, repair, and
+the O(shards) batched-read guarantee.
+
+The contract under test: one dead replica costs counted failovers, never a
+cold key range — a 2-replica store with one replica killed mid-batch still
+serves the batch with results identical to a cold local run and a nonzero
+hit rate on the surviving replica; ``repair`` restores a lagging replica
+to byte-identical entry files; and a cold batch against a remote routing
+table issues ``get_many`` frames (O(shards) read RPCs), never per-key
+``get`` round trips.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.engines import GrapeEngine, ModelEngine
+from repro.perf.instrument import PerfRecorder
+from repro.service import (
+    CompileService,
+    PulseStore,
+    RemoteStore,
+    ReplicatedStore,
+    ShardedStore,
+    StoreServer,
+    StoreVersionError,
+    open_store,
+)
+from repro.utils.config import PipelineConfig
+from repro.workloads import qft
+
+CONFIG = dict(policy_name="map2b4l")
+
+
+@pytest.fixture
+def config():
+    return PipelineConfig(**CONFIG)
+
+
+def _serve(tmp_path, name):
+    store = PulseStore(str(tmp_path / name))
+    return StoreServer(store).start(), store
+
+
+def _revive(tmp_path, name, port):
+    """Restart a stopped server on the same directory and port."""
+    store = PulseStore(str(tmp_path / name))
+    for _ in range(50):
+        try:
+            return StoreServer(store, port=port).start()
+        except OSError:
+            time.sleep(0.1)
+    raise AssertionError(f"could not rebind port {port}")
+
+
+def _entry_files(root) -> dict:
+    """{filename: bytes} of a store directory's entries/ — the byte-level
+    ground truth repair is judged against."""
+    entries_dir = os.path.join(str(root), "entries")
+    return {
+        name: open(os.path.join(entries_dir, name), "rb").read()
+        for name in sorted(os.listdir(entries_dir))
+    }
+
+
+# ------------------------------------------------------------ spec parsing
+def test_open_store_replica_specs(tmp_path):
+    store = open_store("remote://127.0.0.1:1|127.0.0.1:2")
+    assert isinstance(store, ReplicatedStore)
+    assert len(store.replicas) == 2
+    # the scheme may be repeated on later replicas
+    store = open_store("remote://127.0.0.1:1|remote://127.0.0.1:2")
+    assert isinstance(store, ReplicatedStore)
+    # a routing table mixing replicated and single-host shards
+    sharded = open_store(
+        "remote://127.0.0.1:1|127.0.0.1:2,remote://127.0.0.1:3"
+    )
+    assert isinstance(sharded, ShardedStore)
+    assert isinstance(sharded.shards[0], ReplicatedStore)
+    assert isinstance(sharded.shards[1], RemoteStore)
+    with pytest.raises(StoreVersionError):
+        open_store("remote://127.0.0.1:1|not a spec")
+    with pytest.raises(StoreVersionError):
+        open_store("remote://127.0.0.1:1|")  # trailing separator, 1 replica
+    with pytest.raises(StoreVersionError):
+        open_store("remote://127.0.0.1:1|127.0.0.1:2", max_entries=5)
+
+
+# ------------------------------------------------- fan-out + failover reads
+def test_writes_fan_out_and_reads_fail_over(tmp_path, config):
+    server_a, local_a = _serve(tmp_path, "ra")
+    server_b, local_b = _serve(tmp_path, "rb")
+    spec = f"remote://{server_a.address}|{server_b.address}"
+    try:
+        store = open_store(spec)
+        service = CompileService(store, config, backend="serial")
+        batch = service.submit_batch([qft(4)])
+        assert batch.n_compiled > 0
+        # every write reached both replicas, bit-identically
+        assert _entry_files(local_a.root) == _entry_files(local_b.root)
+        keys = list(local_a.keys())
+
+        # primary dies: reads fail over to the surviving replica
+        server_a.stop()
+        survivor = open_store(spec)
+        entry = survivor.get_key(keys[0])
+        assert entry is not None, "failover read lost a stored entry"
+        stats = survivor.stats
+        assert stats.hits == 1
+        assert stats.failovers >= 1
+        assert stats.degraded == 0  # served, not absorbed
+        by_replica = survivor.stats_by_replica()
+        assert by_replica[0]["failovers"] >= 1  # the dead primary, named
+        assert by_replica[1]["failovers"] == 0
+
+        # both dead: degrade to a miss, never a crash
+        server_b.stop()
+        dead = ReplicatedStore(spec.removeprefix("remote://"), timeout_s=2.0)
+        assert dead.get_key(keys[0]) is None
+        assert dead.stats.degraded >= 1
+        assert dead.snapshot() is not None and len(dead.snapshot()) == 0
+        assert dead.get_many(keys) == [None] * len(keys)
+    finally:
+        server_a.stop()
+        server_b.stop()
+
+
+class _ReplicaKillingEngine(ModelEngine):
+    """Stops one replica's server the moment the first solve starts — the
+    deterministic 'replica killed mid-batch' scenario."""
+
+    def __init__(self, physics):
+        super().__init__(physics)
+        self.server = None
+        self.killed = False
+
+    def compile_group(self, group, **kwargs):
+        if not self.killed and self.server is not None:
+            self.killed = True
+            self.server.stop()
+        return super().compile_group(group, **kwargs)
+
+
+def test_replica_killed_mid_batch_serves_from_survivor(tmp_path, config):
+    """ISSUE acceptance: a 2-replica store with one replica killed
+    mid-batch still serves the batch — results identical to a cold local
+    run, nonzero hit rate on the surviving replica."""
+    programs = [qft(4), qft(5)]
+    reference = CompileService(
+        PulseStore(str(tmp_path / "ref")), config, backend="serial"
+    ).submit_batch(programs)
+
+    server_a, local_a = _serve(tmp_path, "ra")
+    server_b, local_b = _serve(tmp_path, "rb")
+    spec = f"remote://{server_a.address}|{server_b.address}"
+    try:
+        # warm both replicas with the first program only
+        CompileService(
+            open_store(spec), config, backend="serial"
+        ).submit_batch([qft(4)])
+        n_warm = len(local_b)
+        assert n_warm > 0
+
+        engine = _ReplicaKillingEngine(config.physics)
+        engine.server = server_a  # kill the PRIMARY mid-batch
+        store = ReplicatedStore(spec, timeout_s=2.0)
+        service = CompileService(store, config, engine=engine, backend="serial")
+        batch = service.submit_batch(programs)
+        assert engine.killed
+
+        # results identical to the cold local run (the client-visible
+        # numbers: per-program latencies) — slower, never wrong
+        for mine, ref in zip(batch.requests, reference.requests):
+            assert mine.overall_latency == ref.overall_latency
+            assert mine.gate_based_latency == ref.gate_based_latency
+
+        # the surviving replica served the warm reads: nonzero hit rate,
+        # counted failovers past the dead primary
+        stats = store.stats
+        assert stats.hits > 0
+        assert stats.hit_rate > 0
+        assert stats.failovers > 0
+        # new solves reached only the survivor; the dead primary lags
+        assert len(local_b) > n_warm
+        assert len(PulseStore(str(tmp_path / "ra"))) == n_warm
+        assert stats.degraded > 0  # the dropped writes were counted
+    finally:
+        server_a.stop()
+        server_b.stop()
+
+
+# ------------------------------------------------------------------ repair
+def test_repair_restores_lagging_replica_byte_identically(tmp_path, config):
+    """Kill a replica, write past it, revive it: ``repair`` must copy the
+    missed entries from its peer bit-identically (GRAPE pulses included),
+    and a second repair pass must find nothing to do."""
+    engine = GrapeEngine(config.physics, config.run.fast())
+    server_a, local_a = _serve(tmp_path, "ra")
+    server_b, local_b = _serve(tmp_path, "rb")
+    port_b = server_b.port
+    spec = f"remote://{server_a.address}|{server_b.address}"
+    try:
+        CompileService(
+            open_store(spec), config, engine=engine, backend="serial"
+        ).submit_batch([qft(4)])
+        assert _entry_files(local_a.root) == _entry_files(local_b.root)
+
+        server_b.stop()  # replica B misses everything from here on
+        store = ReplicatedStore(spec, timeout_s=2.0)
+        service = CompileService(
+            store,
+            config,
+            engine=GrapeEngine(config.physics, config.run.fast()),
+            backend="serial",
+        )
+        second = service.submit_batch([qft(5)])
+        assert second.n_compiled > 0
+        assert store.stats.degraded > 0  # B's dropped writes, counted
+
+        server_b = _revive(tmp_path, "rb", port_b)
+        lagging = ReplicatedStore(spec)
+        summary = lagging.repair()
+        assert summary["copied"] > 0
+        assert summary["copied_by_replica"][0] == 0  # A was never behind
+        assert summary["copied_by_replica"][1] == summary["copied"]
+        server_a.stop()
+        server_b.stop()  # flush both before comparing bytes
+
+        files_a = _entry_files(tmp_path / "ra")
+        files_b = _entry_files(tmp_path / "rb")
+        assert files_a == files_b, "repair did not reproduce the bytes"
+        assert len(files_a) == len(PulseStore(str(tmp_path / "ra")))
+
+        # idempotent: nothing left to copy
+        server_a = _revive(tmp_path, "ra", server_a.port)
+        server_b = _revive(tmp_path, "rb", port_b)
+        assert ReplicatedStore(spec).repair()["copied"] == 0
+    finally:
+        server_a.stop()
+        server_b.stop()
+
+
+# ------------------------------------------------------- batched read RPCs
+def test_cold_batch_issues_o_shards_read_rpcs(tmp_path, config):
+    """ISSUE acceptance: a cold batch against a remote routing table reads
+    via get_many frames — O(shards) batched RPCs, zero per-key ``get``
+    round trips — asserted on the ``store.shard<i>.ops.*`` counters behind
+    the ``batched_rpc`` perf stage."""
+    servers = [_serve(tmp_path, f"host{i}")[0] for i in range(2)]
+    spec = ",".join(f"remote://{s.address}" for s in servers)
+    try:
+        perf = PerfRecorder()
+        store = open_store(spec, perf=perf)
+        service = CompileService(store, config, backend="serial")
+        cold = service.submit_batch([qft(4), qft(5)])
+        assert cold.n_compiled > 0
+
+        counters = perf.counters
+        for shard in range(2):
+            prefix = f"store.shard{shard}."
+            # no per-key reads crossed the wire, cold...
+            assert counters.get(prefix + "ops.get", 0) == 0
+            assert counters.get(prefix + "ops.peek", 0) == 0
+            # ...a handful of batched frames did (claims re-check +
+            # latency table + trivial path — constant per batch, not
+            # proportional to the key count)
+            frames = counters.get(prefix + "ops.get_many", 0)
+            assert 1 <= frames <= 4, counters
+        batched = [n for n in perf.stages if n.endswith("batched_rpc")]
+        assert batched, "batched reads never hit the batched_rpc stage"
+
+        # ... and warm: every covered key still reads through get_many
+        perf_warm = PerfRecorder()
+        warm_service = CompileService(
+            open_store(spec, perf=perf_warm), config, backend="serial"
+        )
+        warm = warm_service.submit_batch([qft(4), qft(5)])
+        assert warm.n_compiled == 0
+        assert warm.coverage_rate == 1.0
+        for shard in range(2):
+            prefix = f"store.shard{shard}."
+            assert perf_warm.counters.get(prefix + "ops.get", 0) == 0
+            assert 1 <= perf_warm.counters.get(prefix + "ops.get_many", 0) <= 4
+    finally:
+        for server in servers:
+            server.stop()
+
+
+def test_sharded_get_many_routes_and_aligns(tmp_path, config):
+    """Local sanity for the batched path: ShardedStore.get_many returns
+    the same entries as per-key get_key, aligned with the ask order."""
+    store = open_store(str(tmp_path / "s"), shards=4)
+    service = CompileService(store, config, backend="serial")
+    service.submit_batch([qft(5)])
+    keys = store.keys()
+    assert keys
+    asked = list(reversed(keys)) + [b"\x00" * 16]
+    batched = store.get_many(asked)
+    assert len(batched) == len(asked)
+    assert batched[-1] is None
+    for key, entry in zip(asked[:-1], batched[:-1]):
+        assert entry is not None
+        assert entry.group.key() == key
+    # accounting matches the per-key loop: each asked key hit or missed
+    assert store.stats.hits >= len(keys)
+    assert store.stats.misses >= 1
