@@ -19,7 +19,9 @@ Regression points (baselines in PERF.md):
   ``RemoteExecutor`` + two workers for solving, all over loopback TCP —
   against the all-local baseline. Quantifies the wire tax (PERF.md row)
   and asserts the warm remote run is a 100% remote-store hit with pulses
-  bit-identical to the local run.
+  bit-identical to the local run. Also under ``--remote``: batched
+  ``get_many`` vs per-key reads, replicated failover reads, and the
+  anti-entropy idle-round cost / heal throughput (PERF.md rows).
 
 Run:  pytest benchmarks/bench_service_throughput.py --benchmark-only -s
       pytest benchmarks/bench_service_throughput.py --benchmark-only -s --shards 8
@@ -400,6 +402,59 @@ def test_replicated_store_failover_reads(benchmark, tmp_path, remote_mode):
         f"cold fan-out {cold_wall:.2f}s, warm-with-dead-primary "
         f"{warm_wall:.2f}s, {stats.failovers} failover probes, "
         f"{stats.hits:.0f} hits from the survivor"
+    )
+
+
+def test_antientropy_idle_and_heal(benchmark, tmp_path, remote_mode):
+    """--remote: anti-entropy idle cost and heal throughput (PERF.md rows).
+
+    Two numbers an operator sizes ``--anti-entropy-interval`` with: what a
+    round costs once the fleet has converged (one ``keys`` frame per peer
+    per interval — the steady-state tax), and how fast a freshly revived
+    empty replica pulls a full store over loopback (the recovery rate)."""
+    from repro.service import AntiEntropyLoop, StoreServer
+
+    programs = _suite_programs()
+    config = PipelineConfig(policy_name="map2b4l")
+    source = PulseStore(str(tmp_path / "source"))
+    CompileService(
+        source, config, backend="thread", n_workers=4
+    ).submit_batch(programs)
+    n_entries = len(source)
+    assert n_entries > 0
+
+    server = StoreServer(source).start()
+    loop = None
+    try:
+        # heal throughput: an empty replica pulls the whole store in one
+        # round (the kill -9 recovery path, minus the compile time it saves)
+        healer = PulseStore(str(tmp_path / "healer"))
+        loop = AntiEntropyLoop(
+            healer, f"127.0.0.1:{server.port}", interval_s=3600.0
+        )
+        t0 = time.perf_counter()
+        summary = run_once(benchmark, loop.run_round)
+        heal_wall = time.perf_counter() - t0
+        assert summary["keys_healed"] == n_entries
+        assert summary["skipped_unreachable"] == 0
+        healed_bytes = summary["bytes"]
+
+        # idle cost: converged fleet, a round is one keys frame per peer
+        idle_rounds = 20
+        t0 = time.perf_counter()
+        for _ in range(idle_rounds):
+            assert loop.run_round()["keys_healed"] == 0
+        idle_wall = time.perf_counter() - t0
+        assert loop.counters["keys_healed"] == n_entries
+    finally:
+        if loop is not None:
+            loop.stop()
+        server.stop()
+    print(
+        f"\nanti-entropy (loopback, {n_entries} entries, "
+        f"{healed_bytes / 1e3:.0f} kB): heal {heal_wall * 1e3:.1f} ms "
+        f"({n_entries / max(heal_wall, 1e-9):.0f} entries/s), idle round "
+        f"{idle_wall / idle_rounds * 1e3:.2f} ms (x{idle_rounds})"
     )
 
 

@@ -16,6 +16,10 @@ Usage::
     python -m repro store serve --root /tmp/pulses --port 7777  # store server
     python -m repro serve --store remote://db:7777 --workers remote --async
     python -m repro serve --store "remote://db1:7777|db2:7777"  # 2 replicas
+    python -m repro batch qft_16 --store "remote://db1:7777|db2:7777?w=majority"
+    python -m repro store serve --root /data/ra --port 7401 \\
+        --anti-entropy-interval 5 --peers db2:7401  # self-healing replica
+    python -m repro store stats --store "remote://db1:7777|db2:7777" --json
     python -m repro store repair --store "remote://db1:7777|db2:7777"
     python -m repro worker --connect solver:7778           # remote solver
 """

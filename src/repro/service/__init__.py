@@ -32,10 +32,17 @@ becomes a :class:`ShardedStore` routing table, one digest range per
 host, and a ``|``-separated replica list inside a route —
 ``remote://h1a:p|h1b:p`` — a
 :class:`~repro.service.replication.ReplicatedStore`: ordered failover
-reads, fan-out writes, ``repro store repair`` re-sync). Batch reads go
+reads, fan-out writes under a per-route write concern, anti-entropy /
+``repro store repair`` re-sync). Batch reads go
 through ``get_many``/``put_many`` wire verbs, one round trip per host
-instead of per key. Wire failures degrade to misses — a dead store
-server makes the service slower, never wrong. Solving distributes the
+instead of per key. Wire failures retry under a bounded jittered
+exponential backoff (:class:`~repro.service.remote.RetryPolicy`,
+tunable per route via ``?retries=&backoff=&cap=``) and then degrade to
+misses — a dead store server makes the service slower, never wrong.
+Only a broken *write concern* is ever loud: a route opened with
+``?w=majority`` or ``?w=all`` raises
+:class:`~repro.service.replication.QuorumError` when a write cannot
+reach enough replicas, instead of degrading silently. Solving distributes the
 same way:
 ``--workers remote`` dispatches each batch's parts to connected
 ``repro worker`` processes (:class:`~repro.service.remote.RemoteExecutor`),
@@ -94,6 +101,57 @@ batch composition, so the content-addressed store stays coherent.
 ``warm="chain"`` restores the paper's within-part MST chaining for
 experiments (see ``executor``'s module docstring for the tradeoff).
 
+Operating a replicated fleet (runbook)
+--------------------------------------
+The minimal self-healing deployment is one replica pair per digest
+range, each side serving its own directory and running anti-entropy
+against the other::
+
+    # host A                                      # host B
+    repro store serve --root /data/ra \\
+        --port 7401 \\
+        --anti-entropy-interval 5 \\
+        --peers hostB:7401
+                                                  repro store serve --root /data/rb \\
+                                                      --port 7401 \\
+                                                      --anti-entropy-interval 5 \\
+                                                      --peers hostA:7401
+
+    # clients: quorum writes, failover reads, tuned wire retries
+    repro batch qft_16 --store \\
+        "remote://hostA:7401|hostB:7401?w=majority&retries=4&backoff=0.05"
+
+*Write concern* (``?w=``): ``1`` (default) keeps cache semantics — a
+write that reaches nobody is absorbed and counted ``degraded``;
+``majority`` (ceil(n/2): 1 of 2, 2 of 3) makes a batch fail loudly with
+``QuorumError`` (exit 3 from ``repro batch``) only when *more than half*
+the replicas are down; ``all`` refuses any replica lag. Watch
+``acked``/``quorum_failures`` in batch reports and ``repro store stats``.
+
+*Anti-entropy tuning*: the interval bounds how long a revived replica
+lags (convergence within ~2 rounds); each idle round costs one ``keys``
+exchange per peer, so size the interval to taste — 5 s is fine for
+thousands of entries (see PERF.md for measured idle cost and heal
+throughput). Rounds are jittered to 50–100% of the interval so a fleet
+never exchanges digests in lockstep. Pause/resume/on-demand-heal over
+the wire: ``{"op": "antientropy", "action": "pause"|"resume"|"heal"}``;
+cumulative counters (``rounds``, ``keys_healed``, ``bytes``,
+``skipped_unreachable``) ride the ``stats`` op and the
+``store.antientropy.*`` perf counters.
+
+*Observability*: ``repro store stats --store <route>`` prints per-shard
+and per-replica tables (``--json`` for machines) — a replica with
+climbing ``failovers`` (reads skipped it) or ``degraded`` (writes it
+dropped) is unhealthy; anti-entropy closes the data lag, but the host
+still needs attention.
+
+*When is manual ``repro store repair`` still needed?* When no serving
+replica has the missing entries in its anti-entropy scope: both loops
+were disabled/paused, or an operator replaced a replica's directory
+wholesale and wants an immediate synchronous catch-up instead of waiting
+out the interval. Routine divergence — crashes, restarts, dropped
+writes — heals itself.
+
 Front door
 ----------
 ``repro serve`` is a JSON-lines request loop on stdin/stdout; with
@@ -120,9 +178,15 @@ from repro.service.remote import (
     RemoteExecutor,
     RemoteStore,
     RemoteUnavailable,
+    RetryPolicy,
+    parse_route,
     worker_loop,
 )
-from repro.service.replication import ReplicatedStore, ReplicatedStoreStats
+from repro.service.replication import (
+    QuorumError,
+    ReplicatedStore,
+    ReplicatedStoreStats,
+)
 from repro.service.service import BatchReport, CompileService, RequestReport
 from repro.service.sharding import ShardedStore, open_store, reshard
 from repro.service.store import (
@@ -131,9 +195,10 @@ from repro.service.store import (
     StoreStats,
     StoreVersionError,
 )
-from repro.service.storeserver import StoreServer
+from repro.service.storeserver import AntiEntropyLoop, StoreServer
 
 __all__ = [
+    "AntiEntropyLoop",
     "AsyncCompileServer",
     "BatchPlan",
     "BatchReport",
@@ -142,12 +207,14 @@ __all__ = [
     "GroupCoalescer",
     "ProcessBackend",
     "PulseStore",
+    "QuorumError",
     "RemoteExecutor",
     "RemoteStore",
     "RemoteUnavailable",
     "ReplicatedStore",
     "ReplicatedStoreStats",
     "RequestReport",
+    "RetryPolicy",
     "SerialBackend",
     "ShardedStore",
     "StoreBackend",
@@ -159,6 +226,7 @@ __all__ = [
     "WorkerPoolExecutor",
     "make_backend",
     "open_store",
+    "parse_route",
     "reshard",
     "worker_loop",
 ]

@@ -15,12 +15,22 @@ it twice against the same store and the second run solves nothing.
 
 ``repro store`` administers a store directory: ``serve`` exposes it over
 TCP for ``--store remote://host:port`` clients (the distributed-store leg
-of the fabric); ``stats`` dumps merged and per-shard counter snapshots
-plus entry/convergence counts as JSON; ``reshard`` migrates between shard
-counts (``--shards``); ``revalidate`` retrains non-converged entries
-within an iteration budget; ``repair`` re-syncs the lagging replicas of a
-replicated remote spec (``remote://h1a:p|h1b:p``) from their peers,
-copying entries bit-identically.
+of the fabric; ``--anti-entropy-interval S --peers h:p,...`` attaches the
+self-healing background loop that re-syncs this store with its replica
+peers, so a revived replica converges with no operator action); ``stats``
+prints merged, per-shard, and per-replica counter snapshots plus
+entry/convergence counts — human tables by default, one JSON document
+with ``--json``; ``reshard`` migrates between shard counts (``--shards``);
+``revalidate`` retrains non-converged entries within an iteration budget;
+``repair`` force-syncs the lagging replicas of a replicated remote spec
+(``remote://h1a:p|h1b:p``) from their peers, copying entries
+bit-identically — still useful for a replica that was down longer than
+its peers' horizons, but routine healing belongs to the anti-entropy
+loop. Replica routes take query params: ``?w=majority`` (or ``1``/
+``all``) sets the write concern — a write that cannot reach its quorum
+raises :class:`~repro.service.replication.QuorumError`, which ``repro
+batch`` reports loudly with exit code 3 — and ``?retries=&backoff=&cap=``
+tune the wire retry policy.
 
 ``repro worker --connect host:port`` is the other leg: a solver process
 for a service started with ``--workers remote``, which dispatches each
@@ -124,7 +134,9 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
              "or a comma list of remote:// routes (digest-range routing "
              "table, one shard per route; a route may be a |-separated "
              "replica list, e.g. remote://h1a:p|h1b:p — failover reads, "
-             "fan-out writes)",
+             "fan-out writes — and may carry ?w=1|majority|all for the "
+             "write concern plus ?retries=&backoff=&cap= for the wire "
+             "retry policy)",
     )
     parser.add_argument(
         "--workers", type=_workers_arg, default=4,
@@ -353,9 +365,26 @@ def cmd_store(argv: Sequence[str]) -> int:
         "--max-entries", type=int, default=None,
         help="LRU-bound the served store (the bound lives server-side)",
     )
+    p_serve.add_argument(
+        "--anti-entropy-interval", type=float, default=None,
+        help="seconds between background anti-entropy rounds: compare key "
+             "sets with every --peers host and stream the difference both "
+             "ways, so a revived replica converges with no operator "
+             "action (requires --peers)",
+    )
+    p_serve.add_argument(
+        "--peers", default=None,
+        help="comma-separated host:port list of this store's replica "
+             "peers for anti-entropy (the *other* replicas of its route)",
+    )
 
-    p_stats = sub.add_parser("stats", help="merged + per-shard snapshots as JSON")
+    p_stats = sub.add_parser(
+        "stats",
+        help="merged, per-shard, and per-replica counter snapshots "
+             "(human tables; --json for one JSON document)",
+    )
     p_stats.add_argument("--store", required=True)
+    p_stats.add_argument("--json", action="store_true", dest="as_json")
 
     p_reshard = sub.add_parser(
         "reshard", help="migrate the store to a different shard count"
@@ -391,12 +420,28 @@ def cmd_store(argv: Sequence[str]) -> int:
     args = parser.parse_args(argv)
     try:
         if args.action == "serve":
-            from repro.service.storeserver import StoreServer
+            from repro.service.storeserver import AntiEntropyLoop, StoreServer
 
             store = open_store(
                 args.root, shards=args.shards, max_entries=args.max_entries
             )
-            server = StoreServer(store, host=args.host, port=args.port).start()
+            antientropy = None
+            if args.anti_entropy_interval is not None or args.peers:
+                if not args.peers:
+                    print(
+                        "repro store: --anti-entropy-interval requires "
+                        "--peers (the other replicas of this store's route)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                antientropy = AntiEntropyLoop(
+                    store,
+                    args.peers,
+                    interval_s=args.anti_entropy_interval or 5.0,
+                )
+            server = StoreServer(
+                store, host=args.host, port=args.port, antientropy=antientropy
+            ).start()
             print(json.dumps({"serving": server.address}), flush=True)
             try:
                 server.serve_forever()
@@ -407,7 +452,11 @@ def cmd_store(argv: Sequence[str]) -> int:
             return 0
         if args.action == "stats":
             store = open_store(args.store)
-            print(json.dumps(store_stats_summary(store), sort_keys=True, indent=2))
+            summary = store_stats_summary(store)
+            if args.as_json:
+                print(json.dumps(summary, sort_keys=True, indent=2))
+            else:
+                print_stats_tables(summary)
             return 0
         if args.action == "reshard":
             summary = reshard(args.store, args.shards, dest=args.dest)
@@ -442,11 +491,14 @@ def cmd_store(argv: Sequence[str]) -> int:
 
 
 def store_stats_summary(store) -> dict:
-    """The ``repro store stats`` payload: merged + per-shard snapshots.
+    """The ``repro store stats`` payload: merged + per-shard + per-replica.
 
     Counter snapshots (hits/misses/...) are per-instance, so on a freshly
     opened store they count this command's own accounting only; the
     durable facts are the entry totals and per-shard convergence split.
+    The ``replicas`` rows (replicated routes only) carry each replica's
+    own wire counters plus the failovers it caused — an unhealthy replica
+    is visible here before it pages anyone.
     """
     entries = [store.peek_key(key) for key in store.keys()]
     per_shard = store.stats_by_shard()
@@ -465,7 +517,53 @@ def store_stats_summary(store) -> dict:
             }
             for index, (shard, stats) in enumerate(zip(shards, per_shard))
         ],
+        "replicas": store.stats_by_replica(),
     }
+
+
+def print_stats_tables(summary: dict, out: IO[str] = sys.stdout) -> None:
+    """Human rendering of :func:`store_stats_summary`: one shard table,
+    plus a per-replica health table when the store replicates."""
+    from repro.analysis.reporting import ascii_table
+
+    merged = summary["merged"]
+    shard_fields = ["hits", "misses", "puts", "evictions", "degraded"]
+    rows = [
+        [row["shard"], row["entries"]]
+        + [row["stats"].get(field, 0) for field in shard_fields]
+        for row in summary["shards"]
+    ]
+    print(
+        ascii_table(
+            ["shard", "entries"] + shard_fields,
+            rows,
+            f"repro store stats — {summary['store'] or 'remote route'}: "
+            f"{summary['entries']} entries, "
+            f"{summary['non_converged']} non-converged",
+        ),
+        file=out,
+    )
+    print(
+        "  merged: "
+        + ", ".join(f"{name}={merged[name]:g}" for name in sorted(merged)),
+        file=out,
+    )
+    if summary["replicas"]:
+        replica_fields = ["hits", "misses", "puts", "degraded", "failovers"]
+        replica_rows = [
+            [row.get("shard", 0), row.get("address", "?")]
+            + [row.get(field, 0) for field in replica_fields]
+            for row in summary["replicas"]
+        ]
+        print(
+            ascii_table(
+                ["shard", "replica"] + replica_fields,
+                replica_rows,
+                "per-replica health (failovers = reads that skipped this "
+                "replica; degraded = writes it dropped)",
+            ),
+            file=out,
+        )
 
 
 # ------------------------------------------------------------------- batch
@@ -550,7 +648,16 @@ def cmd_batch(argv: Sequence[str]) -> int:
     except (ProtocolError, OSError, StoreVersionError) as exc:
         print(f"repro batch: {exc}", file=sys.stderr)
         return 2
-    batch = service.submit_batch(programs)
+    from repro.service.replication import QuorumError
+
+    try:
+        batch = service.submit_batch(programs)
+    except QuorumError as exc:
+        # The batch's writes could not reach the route's quorum: fail
+        # loudly (exit 3, distinct from usage errors) — silent degradation
+        # is exactly what w=majority/all asked to forbid.
+        print(f"repro batch: quorum failure: {exc}", file=sys.stderr)
+        return 3
 
     if args.as_json:
         print(json.dumps(batch_summary(batch), sort_keys=True))

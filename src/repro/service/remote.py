@@ -6,13 +6,20 @@ Two halves, cashing in the two extension seams the service layer left:
   speaks the :mod:`~repro.service.storeserver` JSON-lines protocol, so a
   ``CompileService`` on one host keeps its pulses on another
   (``--store remote://host:port``). Wire failures *degrade, never crash*:
-  after one reconnect-and-retry, a ``get`` becomes a miss, a ``put`` is
-  dropped (the solve's record is still returned to the client — only the
-  cache write is lost), a ``snapshot`` comes back empty. Degradations are
-  counted (``stats.degraded``) so an unhealthy store is visible in every
-  batch report rather than silently slow. The engine-fingerprint guard is
-  enforced server-side; an explicit mismatch is re-raised loudly as
-  :class:`~repro.service.store.StoreVersionError`.
+  after a bounded, jittered exponential-backoff retry (see
+  :class:`RetryPolicy` — reconnect between attempts, deadline-aware so one
+  RPC can never stall a batch past its time budget), a ``get`` becomes a
+  miss, a ``put`` is dropped (the solve's record is still returned to the
+  client — only the cache write is lost), a ``snapshot`` comes back empty.
+  Degradations are counted (``stats.degraded``) so an unhealthy store is
+  visible in every batch report rather than silently slow. The engine-
+  fingerprint guard is enforced server-side; an explicit mismatch is
+  re-raised loudly as :class:`~repro.service.store.StoreVersionError`.
+  The retry policy is configurable per spec via query params —
+  ``remote://host:port?retries=5&backoff=0.1&cap=2`` — parsed once at spec
+  time by :func:`parse_route` (which also carries the ``w=`` write-concern
+  option one layer up to
+  :class:`~repro.service.replication.ReplicatedStore`).
 
 * :class:`RemoteExecutor` + :func:`worker_loop` — the executors'
   ``map_parts`` seam across processes/hosts. The executor listens; each
@@ -54,11 +61,14 @@ import base64
 import json
 import pickle
 import queue
+import random
 import socket
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
 
 from repro.core.cache import (
     CoverageReport,
@@ -82,6 +92,144 @@ REPLICA_SEP = "|"
 
 class RemoteUnavailable(ConnectionError):
     """The remote peer could not be reached (after reconnect + retry)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, jittered exponential backoff for one wire operation.
+
+    ``attempts`` is the *total* number of tries (``None`` = unbounded, the
+    deadline alone terminates — the worker dial-in loop uses this);
+    failure ``k`` sleeps ``min(cap_s, base_s * 2**k)``, jittered down to
+    50–100% of that so a fleet of clients retrying a flapped host never
+    reconnects in lockstep. Every decision is deadline-aware: once the
+    caller's time budget is spent, the policy refuses further retries and
+    truncates the last sleep, so a batch can never stall unboundedly on a
+    dead peer. One frozen policy is shared by :class:`RemoteStore` RPCs,
+    :class:`~repro.service.replication.ReplicatedStore` replicas, the
+    anti-entropy loop's peer exchanges, and :func:`worker_loop` dial-in.
+    """
+
+    attempts: Optional[int] = 3
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    jitter: bool = True
+
+    def __post_init__(self) -> None:
+        if self.attempts is not None and self.attempts < 1:
+            raise ValueError("RetryPolicy needs at least one attempt")
+        if self.base_s <= 0 or self.cap_s <= 0:
+            raise ValueError("RetryPolicy delays must be positive")
+
+    def should_retry(self, failures: int, deadline: Optional[float]) -> bool:
+        """May try again after ``failures`` failed attempts?"""
+        if self.attempts is not None and failures >= self.attempts:
+            return False
+        if deadline is not None and time.monotonic() >= deadline:
+            return False
+        return True
+
+    def delay_s(self, failure_index: int, deadline: Optional[float] = None) -> float:
+        """Sleep before retry number ``failure_index + 1`` (0-based)."""
+        delay = min(self.cap_s, self.base_s * (2 ** failure_index))
+        if self.jitter:
+            delay *= random.uniform(0.5, 1.0)
+        if deadline is not None:
+            delay = min(delay, max(0.0, deadline - time.monotonic()))
+        return delay
+
+    def call(
+        self,
+        attempt: Callable[[], T],
+        deadline: Optional[float] = None,
+        on_failure: Optional[Callable[[], None]] = None,
+    ):
+        """Run ``attempt`` under this policy; re-raises the last ``OSError``/
+        ``ValueError`` once retries are exhausted. ``on_failure`` runs after
+        every failed attempt (the store client tears its socket down there
+        so the next attempt reconnects from scratch)."""
+        failures = 0
+        while True:
+            try:
+                return attempt()
+            except (OSError, ValueError):
+                if on_failure is not None:
+                    on_failure()
+                failures += 1
+                if not self.should_retry(failures, deadline):
+                    raise
+                time.sleep(self.delay_s(failures - 1, deadline))
+
+
+# Route query params understood at spec time. `w` is consumed one layer up
+# (ReplicatedStore's write concern); the rest configure the RetryPolicy.
+_ROUTE_PARAMS = ("w", "retries", "backoff", "cap")
+WRITE_CONCERNS = ("1", "majority", "all")
+
+
+def parse_route_params(query: str) -> Dict[str, str]:
+    """``w=majority&retries=4`` -> validated param dict (loud on garbage)."""
+    params: Dict[str, str] = {}
+    for piece in query.split("&"):
+        name, sep, value = piece.partition("=")
+        if not sep or not name or not value:
+            raise ValueError(f"bad route param {piece!r}; expected name=value")
+        if name not in _ROUTE_PARAMS:
+            raise ValueError(
+                f"unknown route param {name!r}; known: {', '.join(_ROUTE_PARAMS)}"
+            )
+        if name in params:
+            raise ValueError(f"route param {name!r} given twice")
+        params[name] = value
+    if "w" in params and params["w"] not in WRITE_CONCERNS:
+        raise ValueError(
+            f"bad write concern w={params['w']!r}; "
+            f"expected one of {'|'.join(WRITE_CONCERNS)}"
+        )
+    for name in ("backoff", "cap"):
+        if name in params:
+            try:
+                if float(params[name]) <= 0:
+                    raise ValueError
+            except ValueError:
+                raise ValueError(
+                    f"route param {name}={params[name]!r} must be a "
+                    f"positive number"
+                ) from None
+    if "retries" in params:
+        try:
+            if int(params["retries"]) < 1:
+                raise ValueError
+        except ValueError:
+            raise ValueError(
+                f"route param retries={params['retries']!r} must be a "
+                f"positive integer"
+            ) from None
+    return params
+
+
+def retry_from_params(params: Dict[str, str]) -> Optional[RetryPolicy]:
+    """The :class:`RetryPolicy` a route's params ask for (None = default)."""
+    if not any(name in params for name in ("retries", "backoff", "cap")):
+        return None
+    base = float(params.get("backoff", RetryPolicy.base_s))
+    return RetryPolicy(
+        attempts=int(params.get("retries", RetryPolicy.attempts)),
+        base_s=base,
+        cap_s=max(base, float(params.get("cap", RetryPolicy.cap_s))),
+    )
+
+
+def parse_route(spec: str) -> Tuple[List[str], Dict[str, str]]:
+    """One route spec -> (ordered replica specs, validated params).
+
+    ``remote://h1a:p|h1b:p?w=majority&retries=4`` splits into the replica
+    list (see :func:`split_replicas`) and its query params; both halves
+    fail at spec time, never on first failover.
+    """
+    head, sep, query = str(spec).partition("?")
+    params = parse_route_params(query) if sep else {}
+    return split_replicas(head), params
 
 
 def is_remote_spec(spec: str) -> bool:
@@ -178,7 +326,25 @@ class RemoteStore(StoreBackend):
         timeout_s: float = 30.0,
         perf: Optional[PerfRecorder] = None,
         stat_prefix: str = "store.remote.",
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
+        if "?" in str(spec):
+            replicas, params = parse_route(spec)
+            if len(replicas) != 1:
+                raise ValueError(
+                    f"spec {spec!r} lists {len(replicas)} replicas; a "
+                    f"replica set is a ReplicatedStore (open it via "
+                    f"open_store)"
+                )
+            if "w" in params:
+                raise ValueError(
+                    f"spec {spec!r} asks for a write concern; quorums live "
+                    f"on replicated routes (open the spec via open_store)"
+                )
+            spec = replicas[0]
+            if retry is None:
+                retry = retry_from_params(params)
+        self.retry = retry if retry is not None else RetryPolicy()
         self.host, self.port = parse_remote_spec(spec)
         self.timeout_s = float(timeout_s)
         self.stats = RemoteStoreStats()
@@ -240,13 +406,18 @@ class RemoteStore(StoreBackend):
         return json.loads(reply)
 
     def _rpc(self, payload: Dict, stage: str = "rpc") -> Dict:
-        """One request/response, reconnect-and-retry-once on wire failure.
+        """One request/response under the client's :class:`RetryPolicy`.
 
-        Raises :class:`RemoteUnavailable` when the retry also fails (the
-        public methods translate that into their degraded result), and
-        :class:`StoreVersionError` on a server-side fingerprint refusal.
-        Timed under ``<stat_prefix><stage>`` (``rpc`` for per-key ops,
-        ``batched_rpc`` for get_many/put_many frames), with a per-op
+        Each failed attempt tears the socket down so the next one
+        reconnects from scratch; between attempts the policy sleeps its
+        jittered exponential backoff, bounded by both the attempt budget
+        and a per-op deadline of ``timeout_s`` — a dead peer costs a
+        bounded, predictable amount of wall clock, never an unbounded
+        stall. Raises :class:`RemoteUnavailable` once the policy gives up
+        (the public methods translate that into their degraded result),
+        and :class:`StoreVersionError` on a server-side fingerprint
+        refusal. Timed under ``<stat_prefix><stage>`` (``rpc`` for per-key
+        ops, ``batched_rpc`` for get_many/put_many frames), with a per-op
         counter (``<stat_prefix>ops.<op>``) so a perf report shows *which*
         verbs crossed the wire and how often — the O(shards)-not-O(keys)
         claim for batched reads is asserted against exactly these names.
@@ -254,17 +425,19 @@ class RemoteStore(StoreBackend):
         op = str(payload.get("op"))
         with self._lock, self.perf.stage(self.stat_prefix + stage):
             self.perf.count(self.stat_prefix + "ops." + op)
+            deadline = time.monotonic() + self.timeout_s
             try:
-                response = self._roundtrip(payload)
-            except (OSError, ValueError):
-                self._disconnect()
-                try:
-                    response = self._roundtrip(payload)
-                except (OSError, ValueError) as exc:
-                    self._disconnect()
-                    raise RemoteUnavailable(
-                        f"store at {self.address} unreachable: {exc}"
-                    ) from exc
+                response = self.retry.call(
+                    lambda: self._roundtrip(payload),
+                    deadline=deadline,
+                    on_failure=self._disconnect,
+                )
+            except (OSError, ValueError) as exc:
+                self.perf.count(self.stat_prefix + "retry_exhausted")
+                raise RemoteUnavailable(
+                    f"store at {self.address} unreachable after "
+                    f"{self.retry.attempts} attempts: {exc}"
+                ) from exc
         if response.get("ok"):
             return response
         message = response.get("error", "remote store error")
@@ -813,6 +986,7 @@ def worker_loop(
     spec: str,
     max_parts: Optional[int] = None,
     connect_timeout_s: float = 30.0,
+    retry: Optional[RetryPolicy] = None,
 ) -> int:
     """One solver worker: dial the fabric, run parts until it hangs up.
 
@@ -823,17 +997,28 @@ def worker_loop(
     an ``error`` message (the dispatcher fails the batch; a *crash* of
     this process instead triggers reassignment). Returns the number of
     parts handled.
+
+    The fabric may come up *after* its workers (scripted deployments
+    start both at once), so the dial-in keeps retrying under the same
+    jittered exponential-backoff :class:`RetryPolicy` as the store
+    client — unbounded attempts, ``connect_timeout_s`` as the deadline,
+    each attempt's connect timeout clipped to the budget left — instead
+    of hammering the address on a fixed 0.1 s spin.
     """
     host, port = parse_remote_spec(spec)
+    dial = retry if retry is not None else RetryPolicy(attempts=None)
     deadline = time.monotonic() + connect_timeout_s
+    failures = 0
     while True:  # the fabric may still be starting up
         try:
-            sock = socket.create_connection((host, port), timeout=5.0)
+            attempt_budget = max(0.1, min(5.0, deadline - time.monotonic()))
+            sock = socket.create_connection((host, port), timeout=attempt_budget)
             break
         except OSError:
-            if time.monotonic() >= deadline:
+            failures += 1
+            if not dial.should_retry(failures, deadline):
                 raise
-            time.sleep(0.1)
+            time.sleep(dial.delay_s(failures - 1, deadline))
     # Drop the connect timeout: an idle worker blocks in readline between
     # parts, and a lingering 5s timeout would crash it out of the fabric.
     sock.settimeout(None)

@@ -16,10 +16,26 @@ the raising ``fetch_*``/``send_*`` wire primitives of
   to a miss (``stats.degraded``) — the service then plans cold, which is
   correct, just slower. Never wrong, never down while one replica lives.
 
-* **Writes fan out to every replica, best-effort.** A ``put`` that
-  reaches at least one live replica is a durable put; replicas that miss
-  it count a dropped write (their ``degraded`` counter) and fall behind —
-  visibly, not silently.
+* **Writes fan out to every replica, under a per-route write concern.**
+  ``remote://h1a:p|h1b:p?w=majority`` sets the quorum a ``put``/
+  ``put_many``/``flush`` must reach before it counts as acknowledged:
+
+  - ``w=1`` (the default) keeps the original best-effort semantics — a
+    write that reaches at least one live replica is durable, one that
+    reaches none is absorbed as a degraded cache write (the caller keeps
+    its record, the batch just plans colder next time);
+  - ``w=majority`` requires ``ceil(n/2)`` replicas (1 of 2, 2 of 3 — the
+    even-set floor is deliberate, so the canonical 2-replica pair
+    survives a single failure);
+  - ``w=all`` requires every replica.
+
+  A write that cannot reach its quorum raises a typed
+  :class:`QuorumError` — loud, never a silent degradation — and counts
+  ``stats.quorum_failures``; one that does reach it counts ``stats.acked``
+  (per entry), so every batch report shows the quorum outcome alongside
+  the fan-out lag (replicas that missed an acked write still count their
+  own ``degraded``, visible per replica and closable by anti-entropy or
+  :meth:`ReplicatedStore.repair`).
 
 * **``repair()`` re-syncs lagging replicas from their peers.** It
   compares per-replica key sets (one ``keys`` round trip each) and copies
@@ -46,10 +62,14 @@ from repro.core.cache import CoverageReport, LibraryEntry, PulseLibrary
 from repro.grouping.group import GateGroup
 from repro.perf.instrument import PerfRecorder, recorder_or_null
 from repro.service.remote import (
+    WRITE_CONCERNS,
     RemoteStore,
     RemoteStoreStats,
     RemoteUnavailable,
+    RetryPolicy,
     coverage_from_keys,
+    parse_route,
+    retry_from_params,
     revalidate_via_snapshot,
     split_replicas,
 )
@@ -58,22 +78,61 @@ from repro.service.store import StoreBackend
 T = TypeVar("T")
 
 
+class QuorumError(ConnectionError):
+    """A replicated write could not reach its required quorum.
+
+    Deliberately *not* a :class:`~repro.service.remote.RemoteUnavailable`:
+    that one is the wire layer's "degrade to a miss" signal and gets
+    absorbed; a quorum failure is the caller's contract being broken and
+    must surface — through :class:`~repro.service.sharding.ShardedStore`,
+    through ``CompileService`` (which fails the batch's claims and
+    re-raises), out of the front doors as a loud error.
+    """
+
+    def __init__(self, address: str, required: int, delivered: int, n: int) -> None:
+        super().__init__(
+            f"write to {address} reached {delivered} of {n} replicas; "
+            f"the route's write concern requires {required}"
+        )
+        self.address = address
+        self.required = required
+        self.delivered = delivered
+        self.n_replicas = n
+
+
+def quorum_required(write_concern: str, n_replicas: int) -> int:
+    """Acks ``write_concern`` demands from ``n_replicas`` (see module doc)."""
+    if write_concern == "all":
+        return n_replicas
+    if write_concern == "majority":
+        return (n_replicas + 1) // 2
+    return 1  # w=1
+
+
 @dataclass
 class ReplicatedStoreStats(RemoteStoreStats):
-    """Replica-set counters: wire degradations plus read failovers.
+    """Replica-set counters: wire degradations, read failovers, quorums.
 
     ``failovers`` counts reads that had to skip a dead replica and were
     served by a later one — nonzero means a replica is down (or flapping)
     while the data stays fully served. ``degraded`` keeps the
     :class:`RemoteStoreStats` meaning: an operation absorbed after *all*
     replicas failed (reads), plus every replica-level dropped write.
+    ``acked`` counts entries whose write met the route's quorum;
+    ``quorum_failures`` counts write operations that could not and raised
+    :class:`QuorumError` — the batch-report pair that turns "the fleet is
+    degrading" from a log archeology exercise into a column.
     """
 
     failovers: int = 0
+    acked: int = 0
+    quorum_failures: int = 0
 
     def to_dict(self) -> Dict[str, float]:
         payload = super().to_dict()
         payload["failovers"] = self.failovers
+        payload["acked"] = self.acked
+        payload["quorum_failures"] = self.quorum_failures
         return payload
 
 
@@ -94,12 +153,25 @@ class ReplicatedStore(StoreBackend):
         timeout_s: float = 30.0,
         perf: Optional[PerfRecorder] = None,
         stat_prefix: str = "store.remote.",
+        write_concern: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        specs = split_replicas(spec) if isinstance(spec, str) else [
-            s for piece in spec for s in split_replicas(piece)
-        ]
+        if isinstance(spec, str):
+            specs, params = parse_route(spec)
+            if write_concern is None:
+                write_concern = params.get("w")
+            if retry is None:
+                retry = retry_from_params(params)
+        else:
+            specs = [s for piece in spec for s in split_replicas(piece)]
         if not specs:
             raise ValueError("ReplicatedStore needs at least one replica spec")
+        self.write_concern = write_concern if write_concern is not None else "1"
+        if self.write_concern not in WRITE_CONCERNS:
+            raise ValueError(
+                f"bad write concern {self.write_concern!r}; expected one "
+                f"of {'|'.join(WRITE_CONCERNS)}"
+            )
         self.perf = recorder_or_null(perf)
         self.stat_prefix = stat_prefix
         self.replicas: List[RemoteStore] = [
@@ -108,9 +180,11 @@ class ReplicatedStore(StoreBackend):
                 timeout_s=timeout_s,
                 perf=self.perf,
                 stat_prefix=f"{stat_prefix}r{i}.",
+                retry=retry,
             )
             for i, s in enumerate(specs)
         ]
+        self.quorum = quorum_required(self.write_concern, len(self.replicas))
         self._lock = threading.Lock()
         self._stats = ReplicatedStoreStats()
         self.failovers_by_replica: List[int] = [0] * len(self.replicas)
@@ -136,6 +210,8 @@ class ReplicatedStore(StoreBackend):
             merged.evictions = self._stats.evictions
             merged.failovers = self._stats.failovers
             merged.degraded = self._stats.degraded
+            merged.acked = self._stats.acked
+            merged.quorum_failures = self._stats.quorum_failures
         for replica in self.replicas:
             merged.degraded += replica.stats.degraded
         return merged
@@ -254,8 +330,9 @@ class ReplicatedStore(StoreBackend):
 
         A replica that drops the write counts its own ``degraded`` (the
         lag is visible in ``stats_by_replica`` and closable by
-        :meth:`repair`); delivery to at least one live replica makes the
-        logical write durable.
+        anti-entropy or :meth:`repair`); whether the delivery count is
+        *enough* is the caller's write concern, checked by
+        :meth:`_check_quorum`.
         """
         delivered = 0
         for replica in self.replicas:
@@ -269,14 +346,36 @@ class ReplicatedStore(StoreBackend):
             delivered += 1
         return delivered
 
+    def _check_quorum(self, delivered: int, n_entries: int) -> None:
+        """Account a fan-out outcome against the route's write concern.
+
+        Quorum met: ``acked`` counts the entries (and ``puts`` keeps its
+        logical meaning via the callers). Quorum missed under
+        ``w=majority``/``w=all``: count ``quorum_failures`` and raise
+        :class:`QuorumError` — loudly, so the caller knows its write is
+        *not* durably replicated to spec. Under ``w=1`` a fully-lost
+        write stays today's absorbed degradation: the pulse store is a
+        cache, the caller keeps its record, and the miss is visible in
+        ``stats.degraded`` rather than fatal.
+        """
+        if delivered >= self.quorum:
+            self._count_n("acked", n_entries)
+            return
+        if self.write_concern == "1":
+            self._degrade()  # fully lost cache write; caller keeps its record
+            return
+        self._count_n("quorum_failures", 1)
+        raise QuorumError(
+            self.address, self.quorum, delivered, len(self.replicas)
+        )
+
     def put(self, entry: LibraryEntry, flush: bool = True) -> None:
         delivered = self._fan_out_write(
             lambda r: r.send_put(entry, flush), puts_per_delivery=1
         )
         if delivered:
             self._count_n("puts", 1)
-        else:
-            self._degrade()  # fully lost cache write; caller keeps its record
+        self._check_quorum(delivered, 1)
 
     def put_many(self, entries: Sequence[LibraryEntry], flush: bool = True) -> None:
         if not entries:
@@ -287,12 +386,21 @@ class ReplicatedStore(StoreBackend):
         )
         if delivered:
             self._count_n("puts", len(entries))
-        else:
-            self._degrade()
+        self._check_quorum(delivered, len(entries))
 
     def flush(self) -> None:
+        """Flush every replica; the write concern applies here too — a
+        flush that cannot reach quorum under ``w>=majority`` raises (the
+        deferred manifest state it was meant to make durable is not)."""
+        delivered = 0
         for replica in self.replicas:
-            replica.flush()  # absorbs + counts per replica
+            try:
+                replica.send_flush()
+            except RemoteUnavailable:
+                replica._degrade()
+                continue
+            delivered += 1
+        self._check_quorum(delivered, 0)
 
     def claim_fingerprint(self, fingerprint: str) -> None:
         """Every replica is claimed: a mismatch anywhere raises loudly; an
@@ -319,6 +427,13 @@ class ReplicatedStore(StoreBackend):
         byte. Unreachable replicas are skipped — run repair again once
         they are back. Returns a summary (``entries`` = union size,
         ``copied`` total, ``copied_by_replica``).
+
+        Safe under concurrent writes: entries are immutable and
+        content-addressed (one canonical JSON per group key), so a write
+        racing the key-set scan either fans out to every replica itself
+        or is copied here — both land the same bytes, and re-putting an
+        existing key is a no-op rewrite of identical content. Repair is
+        therefore idempotent and never needs the fleet quiesced.
         """
         views: List[Optional[set]] = []
         for replica in self.replicas:

@@ -253,7 +253,10 @@ class CompileService:
         except BaseException as error:
             # Never strand a claim: every claimed key that was neither
             # salvaged nor resolved must fail, or each batch waiting on it
-            # deadlocks forever.
+            # deadlocks forever. This is also what lets a store-layer
+            # QuorumError (a put that could not reach its write concern)
+            # propagate loudly out of submit_batch without wedging
+            # concurrent batches coalesced onto this one's claims.
             for vertex, group in pending:
                 if vertex not in resolved and vertex not in salvaged:
                     self.coalescer.fail(group.key(), error)

@@ -33,9 +33,16 @@ directory, so the distributed layout is made of the same durable parts as
 the local one. A route may list *replicas* —
 ``remote://h1a:p|h1b:p,remote://h2:p`` maps shard 0's digest range onto a
 :class:`~repro.service.replication.ReplicatedStore` over hosts h1a/h1b
-(ordered failover reads, fan-out writes, ``repro store repair``
-re-syncing) and shard 1's onto the single host h2, so one dead host is a
-few counted failovers, not a permanently cold key range.
+(ordered failover reads, fan-out writes, anti-entropy / ``repro store
+repair`` re-syncing) and shard 1's onto the single host h2, so one dead
+host is a few counted failovers, not a permanently cold key range. A
+route may also carry query params (``remote://h1a:p|h1b:p?w=majority``
+sets the write concern, ``?retries=5&backoff=0.1&cap=2`` tunes the wire
+retry policy — see :func:`~repro.service.remote.parse_route`); a
+single-host route asking for ``w=majority``/``w=all`` opens as a
+one-replica :class:`ReplicatedStore` so the quorum contract (loud
+:class:`~repro.service.replication.QuorumError` instead of silent
+degradation) holds uniformly.
 
 The shard map is written once at store creation and validated on every
 open: opening with the wrong expected shard count — or pointing N-shard
@@ -212,7 +219,7 @@ class ShardedStore(StoreBackend):
         from repro.service.remote import (
             RemoteStore,
             is_remote_spec,
-            split_replicas,
+            parse_route,
         )
         from repro.service.replication import ReplicatedStore
 
@@ -238,13 +245,16 @@ class ShardedStore(StoreBackend):
         self.shards = []
         for i, spec in enumerate(routes):
             try:
-                replicas = split_replicas(spec)
+                replicas, params = parse_route(spec)
             except ValueError as exc:
                 raise StoreVersionError(f"bad route {spec!r}: {exc}") from exc
-            if len(replicas) > 1:
+            if len(replicas) > 1 or "w" in params:
+                # Replica set — or a single host asking for a write
+                # concern: the quorum machinery lives in ReplicatedStore,
+                # which re-parses the spec's params itself.
                 self.shards.append(
                     ReplicatedStore(
-                        replicas,
+                        spec,
                         perf=self.perf,
                         stat_prefix=f"store.shard{i}.",
                     )
@@ -252,7 +262,7 @@ class ShardedStore(StoreBackend):
             else:
                 self.shards.append(
                     RemoteStore(
-                        replicas[0],
+                        spec,
                         perf=self.perf,
                         stat_prefix=f"store.shard{i}.",
                     )
@@ -282,10 +292,28 @@ class ShardedStore(StoreBackend):
                 merged.degraded += getattr(shard_stats, "degraded", 0)
             if hasattr(merged, "failovers"):
                 merged.failovers += getattr(shard_stats, "failovers", 0)
+            if hasattr(merged, "acked"):
+                merged.acked += getattr(shard_stats, "acked", 0)
+            if hasattr(merged, "quorum_failures"):
+                merged.quorum_failures += getattr(
+                    shard_stats, "quorum_failures", 0
+                )
         return merged
 
     def stats_by_shard(self) -> List[Dict[str, float]]:
         return [shard.stats.to_dict() for shard in self.shards]
+
+    def stats_by_replica(self) -> List[Dict[str, float]]:
+        """Per-replica health rows from every replicated shard, each
+        annotated with the shard index it serves (non-replicated shards
+        contribute nothing — they have no replica set to diverge)."""
+        rows: List[Dict[str, float]] = []
+        for index, shard in enumerate(self.shards):
+            for row in shard.stats_by_replica():
+                row = dict(row)
+                row["shard"] = index
+                rows.append(row)
+        return rows
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self.shards)
@@ -464,7 +492,7 @@ def open_store(
         from repro.service.remote import (
             RemoteStore,
             is_remote_spec,
-            split_replicas,
+            parse_route,
         )
         from repro.service.replication import ReplicatedStore
 
@@ -481,16 +509,16 @@ def open_store(
             )
         for route in routes:
             try:
-                split_replicas(route)
+                parse_route(route)  # replicas and ?params both validate
             except ValueError as exc:
                 raise StoreVersionError(
                     f"bad route {route!r} in store spec: {exc}"
                 ) from exc
         if len(routes) == 1 and (shards is None or shards == 1):
-            replicas = split_replicas(routes[0])
-            if len(replicas) > 1:
-                return ReplicatedStore(replicas, perf=perf)
-            return RemoteStore(replicas[0], perf=perf)
+            replicas, params = parse_route(routes[0])
+            if len(replicas) > 1 or "w" in params:
+                return ReplicatedStore(routes[0], perf=perf)
+            return RemoteStore(routes[0], perf=perf)
         return ShardedStore(routes=routes, expected_shards=shards, perf=perf)
     if is_sharded(root):
         return ShardedStore(

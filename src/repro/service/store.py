@@ -233,6 +233,13 @@ class StoreBackend(abc.ABC):
         """Per-shard stats snapshots; a single directory is one 'shard'."""
         return [self.stats.to_dict()]
 
+    def stats_by_replica(self) -> List[Dict[str, float]]:
+        """Per-replica health rows; empty unless this backend replicates
+        (see :meth:`repro.service.replication.ReplicatedStore.stats_by_replica`
+        and the routed :class:`~repro.service.sharding.ShardedStore`, which
+        annotates each row with its shard index)."""
+        return []
+
 
 class PulseStore(StoreBackend):
     """Disk-backed :class:`PulseLibrary` with stats and bounded size.

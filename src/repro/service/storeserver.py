@@ -22,8 +22,10 @@ Wire protocol (requests carry ``op``; responses carry ``ok``)::
     {"op": "keys"}     -> {"ok": true, "keys": ["<hex>", ...]}
     {"op": "flush"}    -> {"ok": true}
     {"op": "stats"}    -> {"ok": true, "stats": {...}, "shards": [...],
-                           "entries": N}
+                           "entries": N, "antientropy": {...}|null}
     {"op": "fingerprint", "fingerprint": "<id>"} -> {"ok": true}
+    {"op": "antientropy", "action": "status"|"pause"|"resume"|"heal"}
+        -> {"ok": true, "antientropy": {...}}       # loop status after action
     {"op": "ping"}     -> {"ok": true}
     {"op": "shutdown"} -> {"ok": true, "bye": true}  # stops the server
 
@@ -46,17 +48,32 @@ A connection handler never crashes the server: bad lines are answered and
 the loop continues; a disconnect just ends that handler. The underlying
 stores are already thread-safe, so concurrent connections need no extra
 locking here.
+
+**Anti-entropy.** ``repro store serve --anti-entropy-interval S --peers
+h1:p,h2:p`` attaches an :class:`AntiEntropyLoop`: a background daemon
+thread that, every (jittered) interval, compares this store's key set
+with each peer's and streams the difference both ways over the existing
+``get_many``/``put_many`` frames — entries are immutable canonical JSON,
+so a healed replica converges *bit-identically* with no operator
+``repro store repair``. A ``kill -9``'d replica just restarts with the
+loop enabled and converges within a round or two. The loop is pausable
+over the wire (``{"op": "antientropy", "action": "pause"}``), skips
+unreachable peers (counted, retried next round), and surfaces
+``store.antientropy.*`` perf counters plus a ``status()`` payload in the
+``stats`` response.
 """
 
 from __future__ import annotations
 
 import base64
 import json
+import random
 import socket
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.cache import LibraryEntry, entry_from_dict, entry_to_dict
+from repro.perf.instrument import PerfRecorder, recorder_or_null
 from repro.service.store import StoreBackend, StoreVersionError
 
 # Upper bound on one get_many/put_many frame. Far above any real batch
@@ -102,21 +119,239 @@ def _batch_list(request: Dict, field: str) -> list:
     return value
 
 
+def split_peers(peers: Union[str, Sequence[str]]) -> List[str]:
+    """``h1:p,h2:p`` (comma or ``|`` separated, ``remote://`` optional)
+    -> validated peer specs for an :class:`AntiEntropyLoop`. Loud on
+    garbage at configure time, same policy as the route parsers."""
+    from repro.service.remote import parse_remote_spec
+
+    if isinstance(peers, str):
+        pieces = [p for chunk in peers.split(",") for p in chunk.split("|")]
+    else:
+        pieces = list(peers)
+    specs = [piece.strip() for piece in pieces if piece and piece.strip()]
+    for spec in specs:
+        parse_remote_spec(spec)  # raises ValueError on garbage
+    return specs
+
+
+class AntiEntropyLoop:
+    """Background reconciliation of one server's store with its peers.
+
+    Every (jittered) ``interval_s`` the loop runs a *round*: per peer, one
+    ``keys`` round trip, then the symmetric difference streams both ways —
+    keys the peer holds and we miss are pulled with ``get_many`` and
+    written locally, keys we hold and the peer misses are pushed with
+    ``put_many``. Entries are immutable, content-addressed canonical JSON,
+    so healing in either direction lands byte-identical files and racing a
+    live write is harmless (both paths write the same bytes); a replica
+    revived after ``kill -9`` converges with *no* operator action.
+
+    Unreachable peers are skipped and counted (``skipped_unreachable``),
+    never retried in a tight loop — the next round catches them. A failed
+    round never kills the daemon thread. ``pause()``/``resume()`` gate the
+    background rounds (the ``antientropy`` protocol op drives them over
+    the wire, plus ``action=heal`` for a synchronous on-demand round);
+    :meth:`status` is the observable state, and the same counters flow to
+    the perf recorder as ``store.antientropy.rounds`` / ``.keys_healed`` /
+    ``.bytes`` / ``.skipped_unreachable``.
+
+    Sizing note: a round is O(union of key sets) per peer on the wire for
+    digests plus O(difference) for entry payloads — on a converged fleet
+    it is one ``keys`` frame per peer per interval (see PERF.md for
+    measured idle cost and heal throughput).
+    """
+
+    def __init__(
+        self,
+        store: StoreBackend,
+        peers: Union[str, Sequence[str]],
+        interval_s: float = 5.0,
+        timeout_s: float = 5.0,
+        perf: Optional[PerfRecorder] = None,
+        stat_prefix: str = "store.antientropy.",
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("anti-entropy interval must be positive")
+        self.store = store
+        self.peer_specs = split_peers(peers)
+        if not self.peer_specs:
+            raise ValueError("anti-entropy needs at least one peer")
+        self.interval_s = float(interval_s)
+        self.timeout_s = float(timeout_s)
+        self.perf = recorder_or_null(perf)
+        self.stat_prefix = stat_prefix
+        self.counters: Dict[str, int] = {
+            "rounds": 0,
+            "keys_healed": 0,
+            "bytes": 0,
+            "skipped_unreachable": 0,
+        }
+        self._clients = None  # built lazily; RemoteStore imports circularly
+        self._lock = threading.Lock()  # counters
+        self._round_lock = threading.Lock()  # one round at a time
+        self._stop = threading.Event()
+        self._paused = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "AntiEntropyLoop":
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="anti-entropy", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+        for client in self._clients or []:
+            client.close()
+
+    def pause(self) -> None:
+        self._paused.set()
+
+    def resume(self) -> None:
+        self._paused.clear()
+
+    def _delay_s(self) -> float:
+        # Jittered to 50-100% of the interval so a fleet of replicas
+        # started together never exchanges digests in lockstep.
+        return self.interval_s * random.uniform(0.5, 1.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._delay_s()):
+            if self._paused.is_set():
+                continue
+            try:
+                self.run_round()
+            except Exception:
+                continue  # a bad round must not kill the daemon
+
+    # ----------------------------------------------------------- one round
+    def _peer_clients(self):
+        if self._clients is None:
+            # Function-level import: remote.py imports this module.
+            from repro.service.remote import RemoteStore, RetryPolicy
+
+            self._clients = [
+                RemoteStore(
+                    spec,
+                    timeout_s=self.timeout_s,
+                    stat_prefix=f"{self.stat_prefix}peer{i}.",
+                    # A dead peer costs one quick probe per round, not a
+                    # full client backoff ladder.
+                    retry=RetryPolicy(attempts=2, base_s=0.05, cap_s=0.5),
+                )
+                for i, spec in enumerate(self.peer_specs)
+            ]
+        return self._clients
+
+    def _count(self, field: str, n: int = 1) -> None:
+        if n <= 0:
+            return
+        with self._lock:
+            self.counters[field] += n
+        self.perf.count(self.stat_prefix + field, n)
+
+    def run_round(self) -> Dict[str, int]:
+        """One synchronous reconciliation pass over every peer.
+
+        Serialized against the background thread (``action=heal`` over the
+        wire shares this method), so two rounds never interleave.
+        Returns this round's deltas; cumulative totals live in
+        :attr:`counters`/:meth:`status`.
+        """
+        from repro.service.remote import RemoteUnavailable
+
+        healed = moved_bytes = skipped = 0
+        with self._round_lock:
+            for client in self._peer_clients():
+                try:
+                    peer_keys = set(client.fetch_keys())
+                except RemoteUnavailable:
+                    skipped += 1
+                    continue
+                local_keys = set(self.store.keys())
+                try:
+                    # Pull what the peer has and we miss...
+                    pulled: List[LibraryEntry] = []
+                    missing_here = sorted(peer_keys - local_keys)
+                    if missing_here:
+                        pulled = [
+                            e
+                            for e in client.fetch_many(missing_here)
+                            if e is not None
+                        ]
+                        if pulled:
+                            self.store.put_many(pulled)
+                    # ...push what we have and the peer misses. Local
+                    # reads peek so healing never skews hit/miss stats.
+                    pushed: List[LibraryEntry] = []
+                    for key in sorted(local_keys - peer_keys):
+                        entry = self.store.peek_key(key)
+                        if entry is not None:
+                            pushed.append(entry)
+                    if pushed:
+                        client.send_many(pushed)
+                except RemoteUnavailable:
+                    skipped += 1  # peer died mid-exchange; next round
+                    continue
+                healed += len(pulled) + len(pushed)
+                moved_bytes += sum(
+                    len(encode_entry(e)) for e in pulled + pushed
+                )
+        self._count("rounds")
+        self._count("keys_healed", healed)
+        self._count("bytes", moved_bytes)
+        self._count("skipped_unreachable", skipped)
+        return {
+            "keys_healed": healed,
+            "bytes": moved_bytes,
+            "skipped_unreachable": skipped,
+        }
+
+    # -------------------------------------------------------------- status
+    def status(self) -> Dict:
+        """Wire-shaped state: config, liveness, and cumulative counters."""
+        with self._lock:
+            counters = dict(self.counters)
+        payload = {
+            "peers": list(self.peer_specs),
+            "interval_s": self.interval_s,
+            "paused": self._paused.is_set(),
+            "running": self._thread is not None and self._thread.is_alive(),
+        }
+        payload.update(counters)
+        return payload
+
+
 class StoreServer:
     """Thread-per-connection TCP front for one :class:`StoreBackend`.
 
     ``start()`` binds and begins accepting (``port=0`` picks a free port,
     readable afterwards as :attr:`port`); ``stop()`` closes the listener
     and every live connection. Usable in-process (tests, ``repro perf``)
-    or via the ``repro store serve`` CLI.
+    or via the ``repro store serve`` CLI. An optional
+    :class:`AntiEntropyLoop` rides the server's lifecycle: started by
+    ``start()``, stopped (before the final flush) by ``stop()``.
     """
 
     def __init__(
-        self, store: StoreBackend, host: str = "127.0.0.1", port: int = 0
+        self,
+        store: StoreBackend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        antientropy: Optional[AntiEntropyLoop] = None,
     ) -> None:
         self.store = store
         self.host = host
         self.port = port
+        self.antientropy = antientropy
         self.stopped = threading.Event()
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -136,6 +371,8 @@ class StoreServer:
             target=self._accept_loop, name="store-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.antientropy is not None:
+            self.antientropy.start()
         return self
 
     @property
@@ -147,6 +384,8 @@ class StoreServer:
         if self.stopped.is_set():
             return
         self.stopped.set()
+        if self.antientropy is not None:
+            self.antientropy.stop()  # no half-finished round past flush
         if self._listener is not None:
             # shutdown() before close(): close alone does not wake a
             # thread blocked in accept(), which would keep the port in
@@ -287,8 +526,30 @@ class StoreServer:
                 "stats": store.stats.to_dict(),
                 "shards": store.stats_by_shard(),
                 "entries": len(store),
+                "antientropy": (
+                    self.antientropy.status() if self.antientropy else None
+                ),
             }
         if op == "fingerprint":
             store.claim_fingerprint(str(request["fingerprint"]))
             return {"ok": True}
+        if op == "antientropy":
+            loop = self.antientropy
+            if loop is None:
+                return _error(
+                    "anti-entropy is not enabled on this server (serve "
+                    "with --anti-entropy-interval and --peers)",
+                    kind="bad-request",
+                    op=op,
+                )
+            action = str(request.get("action", "status"))
+            if action == "pause":
+                loop.pause()
+            elif action == "resume":
+                loop.resume()
+            elif action == "heal":
+                loop.run_round()  # synchronous on-demand round
+            elif action != "status":
+                raise ValueError(f"unknown antientropy action {action!r}")
+            return {"ok": True, "antientropy": loop.status()}
         return _error(f"unknown op {op!r}", kind="bad-request", op=op)

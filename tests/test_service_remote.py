@@ -20,12 +20,15 @@ from repro.service import (
     PulseStore,
     RemoteExecutor,
     RemoteStore,
+    RetryPolicy,
     ShardedStore,
     StoreServer,
     StoreVersionError,
     open_store,
+    parse_route,
     worker_loop,
 )
+from repro.service.remote import parse_route_params, retry_from_params
 from repro.service.sharding import shard_of
 from repro.service.store import key_digest
 from repro.utils.config import PipelineConfig
@@ -63,6 +66,94 @@ def _stored_pulses(store):
         for key in store.keys()
         if store.peek_key(key).pulse is not None
     }
+
+
+# ------------------------------------------------------------ retry policy
+def test_retry_policy_bounds_and_backoff():
+    policy = RetryPolicy(attempts=3, base_s=0.1, cap_s=0.3, jitter=False)
+    assert policy.should_retry(1, deadline=None)
+    assert policy.should_retry(2, deadline=None)
+    assert not policy.should_retry(3, deadline=None)  # attempts exhausted
+    assert not policy.should_retry(1, deadline=time.monotonic() - 1)
+    # exponential growth, capped
+    assert policy.delay_s(0) == pytest.approx(0.1)
+    assert policy.delay_s(1) == pytest.approx(0.2)
+    assert policy.delay_s(2) == pytest.approx(0.3)  # capped, not 0.4
+    assert policy.delay_s(10) == pytest.approx(0.3)
+    # jitter stays within 50-100% of the nominal delay
+    jittered = RetryPolicy(attempts=3, base_s=0.1, cap_s=0.3)
+    for k in range(3):
+        nominal = policy.delay_s(k)
+        for _ in range(20):
+            assert 0.5 * nominal <= jittered.delay_s(k) <= nominal
+    # a nearly-spent deadline truncates the sleep
+    assert policy.delay_s(2, deadline=time.monotonic() + 0.01) <= 0.01
+    with pytest.raises(ValueError):
+        RetryPolicy(attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_s=0.0)
+
+
+def test_retry_policy_call_retries_then_raises():
+    calls = []
+    torn_down = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise ConnectionError("still down")
+        return "up"
+
+    policy = RetryPolicy(attempts=3, base_s=0.001, cap_s=0.002)
+    assert policy.call(flaky, on_failure=lambda: torn_down.append(1)) == "up"
+    assert len(calls) == 3
+    assert len(torn_down) == 2  # every failed attempt tore the socket down
+
+    def dead():
+        raise ConnectionError("always down")
+
+    started = time.monotonic()
+    with pytest.raises(ConnectionError):
+        policy.call(dead)
+    assert time.monotonic() - started < 1.0  # bounded, not a stall
+
+
+def test_parse_route_params_and_specs():
+    replicas, params = parse_route("remote://h1:1|h2:2?w=majority&retries=4")
+    assert replicas == ["remote://h1:1", "h2:2"]
+    assert params == {"w": "majority", "retries": "4"}
+    assert parse_route("remote://h1:1") == (["remote://h1:1"], {})
+    policy = retry_from_params(
+        parse_route_params("retries=5&backoff=0.1&cap=2")
+    )
+    assert policy.attempts == 5
+    assert policy.base_s == pytest.approx(0.1)
+    assert policy.cap_s == pytest.approx(2.0)
+    assert retry_from_params({"w": "majority"}) is None  # default policy
+    # the cap can never undercut the base
+    assert retry_from_params({"backoff": "3", "cap": "1"}).cap_s == 3.0
+    for garbage in (
+        "w=sometimes",      # unknown write concern
+        "w=majority&w=all",  # duplicate
+        "quorum=2",          # unknown param
+        "retries=0",         # non-positive
+        "retries=soon",
+        "backoff=-1",
+        "backoff=fast",
+        "cap=0",
+        "w=",                # missing value
+        "majority",          # missing '='
+    ):
+        with pytest.raises(ValueError):
+            parse_route_params(garbage)
+    # RemoteStore accepts retry params but refuses replica lists and
+    # write concerns (those belong to open_store / ReplicatedStore)
+    tuned = RemoteStore("remote://127.0.0.1:9?retries=2&backoff=0.01")
+    assert tuned.retry.attempts == 2
+    with pytest.raises(ValueError):
+        RemoteStore("remote://h1:1|h2:2?retries=2")
+    with pytest.raises(ValueError):
+        RemoteStore("remote://127.0.0.1:9?w=majority")
 
 
 # ------------------------------------------------------------------- store
@@ -354,6 +445,51 @@ def test_worker_survives_idle_gaps_between_batches(tmp_path, config):
         assert executor.n_local_fallback == 0
     finally:
         executor.close()
+
+
+def test_worker_dials_in_when_fabric_comes_up_late(tmp_path, config):
+    """Satellite: scripted deployments start workers and fabric at once,
+    so the dial-in loop must keep retrying (jittered backoff, not a fixed
+    spin) until the fabric's listener appears — and then serve batches."""
+    # Reserve a port, start the worker against it *before* any listener
+    # exists, then bring the fabric up on that port.
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+
+    handled = {}
+
+    def late_dialer():
+        handled["parts"] = worker_loop(
+            f"remote://127.0.0.1:{port}", connect_timeout_s=30.0
+        )
+
+    thread = threading.Thread(target=late_dialer, daemon=True)
+    thread.start()
+    time.sleep(0.5)  # the worker is already dialing a dead address
+    executor = RemoteExecutor(port=port, wait_workers_s=15.0)
+    service = CompileService(
+        PulseStore(str(tmp_path / "s")), config, backend=executor,
+        n_workers=2,
+    )
+    try:
+        batch = service.submit_batch([qft(4)])
+        assert batch.n_compiled > 0
+        assert executor.n_dispatched > 0
+        assert executor.n_local_fallback == 0
+    finally:
+        executor.close()
+    thread.join(timeout=10)
+    assert handled.get("parts", 0) > 0
+
+    # ... and a bounded dial gives up loudly once its budget is spent
+    with pytest.raises(OSError):
+        worker_loop(
+            f"remote://127.0.0.1:{port}",
+            connect_timeout_s=0.3,
+            retry=RetryPolicy(attempts=2, base_s=0.01, cap_s=0.05),
+        )
 
 
 def test_remote_executor_runs_locally_when_no_worker_connects(

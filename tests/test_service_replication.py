@@ -12,6 +12,7 @@ table issues ``get_many`` frames (O(shards) read RPCs), never per-key
 
 import json
 import os
+import threading
 import time
 
 import pytest
@@ -21,6 +22,7 @@ from repro.perf.instrument import PerfRecorder
 from repro.service import (
     CompileService,
     PulseStore,
+    QuorumError,
     RemoteStore,
     ReplicatedStore,
     ShardedStore,
@@ -28,6 +30,7 @@ from repro.service import (
     StoreVersionError,
     open_store,
 )
+from repro.service.replication import quorum_required
 from repro.utils.config import PipelineConfig
 from repro.workloads import qft
 
@@ -191,6 +194,207 @@ def test_replica_killed_mid_batch_serves_from_survivor(tmp_path, config):
         server_b.stop()
 
 
+# ----------------------------------------------------------- write quorums
+def test_quorum_required_arithmetic():
+    # majority = ceil(n/2): the 2-replica pair survives a single failure
+    assert quorum_required("1", 2) == 1
+    assert quorum_required("majority", 1) == 1
+    assert quorum_required("majority", 2) == 1
+    assert quorum_required("majority", 3) == 2
+    assert quorum_required("majority", 4) == 2
+    assert quorum_required("majority", 5) == 3
+    assert quorum_required("all", 3) == 3
+
+
+def test_open_store_quorum_specs(tmp_path):
+    store = open_store("remote://127.0.0.1:1|127.0.0.1:2?w=majority")
+    assert isinstance(store, ReplicatedStore)
+    assert store.write_concern == "majority"
+    assert store.quorum == 1
+    # a single host asking for a write concern still gets the quorum
+    # machinery (loud QuorumError, acked/quorum_failures counters)
+    solo = open_store("remote://127.0.0.1:1?w=all")
+    assert isinstance(solo, ReplicatedStore)
+    assert solo.quorum == len(solo.replicas) == 1
+    # retry params reach every replica's wire client
+    tuned = open_store(
+        "remote://127.0.0.1:1|127.0.0.1:2?w=all&retries=2&backoff=0.01"
+    )
+    assert all(r.retry.attempts == 2 for r in tuned.replicas)
+    with pytest.raises(StoreVersionError):
+        open_store("remote://127.0.0.1:1|127.0.0.1:2?w=sometimes")
+    with pytest.raises(StoreVersionError):
+        open_store("remote://127.0.0.1:1|127.0.0.1:2?quorum=2")
+    with pytest.raises(ValueError):
+        ReplicatedStore("127.0.0.1:1|127.0.0.1:2", write_concern="2")
+
+
+def _fast_spec(server_a, server_b, w):
+    """A 2-replica route with quick wire retries (dead peers are cheap)."""
+    return (
+        f"remote://{server_a.address}|{server_b.address}"
+        f"?w={w}&retries=2&backoff=0.01&cap=0.05"
+    )
+
+
+def test_majority_write_survives_one_dead_replica(tmp_path, config):
+    """ISSUE acceptance (surviving-majority phase): w=majority on the
+    2-replica pair — one dead replica means degraded writes, *zero*
+    quorum failures, every write acked."""
+    server_a, local_a = _serve(tmp_path, "ra")
+    server_b, local_b = _serve(tmp_path, "rb")
+    try:
+        server_b.stop()
+        store = open_store(_fast_spec(server_a, server_b, "majority"))
+        service = CompileService(store, config, backend="serial")
+        batch = service.submit_batch([qft(4)])
+        assert batch.n_compiled > 0
+        stats = store.stats
+        assert stats.quorum_failures == 0
+        assert stats.acked == stats.puts > 0
+        assert stats.degraded > 0  # B's dropped writes, still counted
+        assert len(local_a) > 0
+        # the batch report carries the quorum outcome
+        assert batch.store_stats["acked"] == stats.acked
+        assert batch.store_stats["quorum_failures"] == 0
+    finally:
+        server_a.stop()
+        server_b.stop()
+
+
+def test_quorum_failure_is_loud_not_silent(tmp_path, config):
+    """Killing *both* replicas under w=majority: writes raise QuorumError
+    (counted), never a silent degradation; w=1 on the same dead pair
+    keeps the old absorb-and-degrade contract. w=all refuses even a
+    single dead replica."""
+    server_a, local_a = _serve(tmp_path, "ra")
+    server_b, local_b = _serve(tmp_path, "rb")
+    warm = open_store(f"remote://{server_a.address}|{server_b.address}")
+    CompileService(warm, config, backend="serial").submit_batch([qft(4)])
+    entry = warm.snapshot().entries()[0]
+
+    # w=all, one dead replica: loud
+    server_b.stop()
+    all_store = open_store(_fast_spec(server_a, server_b, "all"))
+    with pytest.raises(QuorumError) as excinfo:
+        all_store.put(entry)
+    assert excinfo.value.required == 2
+    assert excinfo.value.delivered == 1
+    assert all_store.stats.quorum_failures == 1
+    assert all_store.stats.acked == 0
+
+    # w=majority, both dead: loud, on every write verb
+    server_a.stop()
+    dead = open_store(_fast_spec(server_a, server_b, "majority"))
+    with pytest.raises(QuorumError):
+        dead.put(entry)
+    with pytest.raises(QuorumError):
+        dead.put_many([entry])
+    with pytest.raises(QuorumError):
+        dead.flush()
+    assert dead.stats.quorum_failures == 3
+    # QuorumError is ConnectionError but NOT RemoteUnavailable: the
+    # degrade paths must never absorb it
+    from repro.service import RemoteUnavailable
+
+    assert not isinstance(excinfo.value, RemoteUnavailable)
+
+    # w=1 (the default) on the same dead pair: absorbed, counted
+    legacy = open_store(
+        f"remote://{server_a.address}|{server_b.address}"
+        f"?retries=2&backoff=0.01&cap=0.05"
+    )
+    legacy.put(entry)  # no raise
+    assert legacy.stats.degraded >= 1
+    assert legacy.stats.quorum_failures == 0
+
+
+def test_quorum_error_propagates_through_sharded_store(tmp_path, config):
+    """A routed ShardedStore must surface a shard's QuorumError, not
+    swallow it in the fan-out plumbing."""
+    servers = [_serve(tmp_path, f"host{i}")[0] for i in range(2)]
+    dead = [_serve(tmp_path, f"dead{i}")[0] for i in range(2)]
+    spec = ",".join(
+        f"remote://{live.address}|{gone.address}"
+        f"?w=all&retries=2&backoff=0.01&cap=0.05"
+        for live, gone in zip(servers, dead)
+    )
+    try:
+        warm_store = PulseStore(str(tmp_path / "feed"))
+        CompileService(warm_store, config, backend="serial").submit_batch(
+            [qft(4)]
+        )
+        entries = [warm_store.peek_key(k) for k in warm_store.keys()]
+        for server in dead:
+            server.stop()
+        store = open_store(spec)
+        assert isinstance(store, ShardedStore)
+        with pytest.raises(QuorumError):
+            store.put(entries[0])
+        with pytest.raises(QuorumError):
+            store.put_many(entries)
+        assert store.stats.quorum_failures >= 1
+    finally:
+        for server in servers + dead:
+            server.stop()
+
+
+def test_quorum_error_propagates_through_batch_front_door(tmp_path, config):
+    """ISSUE satellite: a replica killed mid-batch under w=all makes the
+    *batch* fail with QuorumError — submit_batch re-raises (claims are
+    failed, not stranded) and `repro batch` exits 3 with the error on
+    stderr."""
+    server_a, _ = _serve(tmp_path, "ra")
+    server_b, _ = _serve(tmp_path, "rb")
+    try:
+        engine = _ReplicaKillingEngine(config.physics)
+        engine.server = server_b
+        store = open_store(_fast_spec(server_a, server_b, "all"))
+        service = CompileService(store, config, engine=engine, backend="serial")
+        with pytest.raises(QuorumError):
+            service.submit_batch([qft(4)])
+        assert engine.killed
+        assert store.stats.quorum_failures >= 1
+        # the claims were failed, not stranded: a retry batch against the
+        # surviving majority completes
+        retry_store = open_store(_fast_spec(server_a, server_b, "majority"))
+        retry = CompileService(
+            retry_store, config, backend="serial"
+        ).submit_batch([qft(4)])
+        assert retry.n_compiled > 0
+        assert retry_store.stats.quorum_failures == 0
+    finally:
+        server_a.stop()
+        server_b.stop()
+
+
+def test_cmd_batch_reports_quorum_failure_exit_3(tmp_path, config, capsys):
+    from repro.service.frontdoor import cmd_batch
+
+    server_a, _ = _serve(tmp_path, "ra")
+    server_b, _ = _serve(tmp_path, "rb")
+    server_b.stop()
+    try:
+        code = cmd_batch(
+            [
+                "qft_4",
+                "--store",
+                _fast_spec(server_a, server_b, "all"),
+                "--backend",
+                "serial",
+                "--workers",
+                "1",
+                "--json",
+            ]
+        )
+    finally:
+        server_a.stop()
+    assert code == 3
+    err = capsys.readouterr().err
+    assert "quorum failure" in err
+    assert "write concern requires 2" in err
+
+
 # ------------------------------------------------------------------ repair
 def test_repair_restores_lagging_replica_byte_identically(tmp_path, config):
     """Kill a replica, write past it, revive it: ``repair`` must copy the
@@ -237,6 +441,70 @@ def test_repair_restores_lagging_replica_byte_identically(tmp_path, config):
         server_a = _revive(tmp_path, "ra", server_a.port)
         server_b = _revive(tmp_path, "rb", port_b)
         assert ReplicatedStore(spec).repair()["copied"] == 0
+    finally:
+        server_a.stop()
+        server_b.stop()
+
+
+def test_repair_is_safe_under_concurrent_writes(tmp_path, config):
+    """ISSUE satellite: writes landing *while* repair runs must not break
+    byte-identity or idempotence — entries are immutable and
+    content-addressed, so racing paths write the same bytes."""
+    engine = GrapeEngine(config.physics, config.run.fast())
+    server_a, local_a = _serve(tmp_path, "ra")
+    server_b, local_b = _serve(tmp_path, "rb")
+    port_b = server_b.port
+    spec = f"remote://{server_a.address}|{server_b.address}"
+    try:
+        # B lags: it was down while qft(4) was compiled
+        server_b.stop()
+        CompileService(
+            ReplicatedStore(spec, timeout_s=2.0),
+            config,
+            engine=engine,
+            backend="serial",
+        ).submit_batch([qft(4)])
+        server_b = _revive(tmp_path, "rb", port_b)
+
+        # repair the lag while a second batch writes new entries
+        repairer = ReplicatedStore(spec)
+        summaries = []
+        errors = []
+
+        def run_repair():
+            try:
+                # two passes back to back: the second races the tail of
+                # the concurrent batch's writes
+                summaries.append(repairer.repair())
+                summaries.append(repairer.repair())
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        writer_service = CompileService(
+            ReplicatedStore(spec),
+            config,
+            engine=GrapeEngine(config.physics, config.run.fast()),
+            backend="serial",
+        )
+        thread = threading.Thread(target=run_repair)
+        thread.start()
+        batch = writer_service.submit_batch([qft(5)])
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert not errors, errors
+        assert batch.n_compiled > 0
+        assert summaries[0]["copied"] > 0  # the lag really was repaired
+
+        # one quiesced pass sweeps up any asymmetry the races left...
+        ReplicatedStore(spec).repair()
+        # ...and a second finds nothing: idempotent under the dust
+        assert ReplicatedStore(spec).repair()["copied"] == 0
+        server_a.stop()
+        server_b.stop()  # flush both before comparing bytes
+        files_a = _entry_files(tmp_path / "ra")
+        files_b = _entry_files(tmp_path / "rb")
+        assert files_a == files_b, "concurrent repair broke byte-identity"
+        assert len(files_a) == len(PulseStore(str(tmp_path / "ra")))
     finally:
         server_a.stop()
         server_b.stop()
