@@ -409,9 +409,11 @@ def test_antientropy_idle_and_heal(benchmark, tmp_path, remote_mode):
     """--remote: anti-entropy idle cost and heal throughput (PERF.md rows).
 
     Two numbers an operator sizes ``--anti-entropy-interval`` with: what a
-    round costs once the fleet has converged (one ``keys`` frame per peer
-    per interval — the steady-state tax), and how fast a freshly revived
-    empty replica pulls a full store over loopback (the recovery rate)."""
+    round costs once the fleet has converged (one constant-size
+    ``keys_digest`` probe per peer per interval — the steady-state tax;
+    the pre-digest full ``keys`` exchange is measured alongside for the
+    payload comparison), and how fast a freshly revived empty replica
+    pulls a full store over loopback (the recovery rate)."""
     from repro.service import AntiEntropyLoop, StoreServer
 
     programs = _suite_programs()
@@ -439,13 +441,26 @@ def test_antientropy_idle_and_heal(benchmark, tmp_path, remote_mode):
         assert summary["skipped_unreachable"] == 0
         healed_bytes = summary["bytes"]
 
-        # idle cost: converged fleet, a round is one keys frame per peer
+        # idle cost: converged fleet, a round is one constant-size
+        # keys_digest probe per peer (the digest fast path)
         idle_rounds = 20
         t0 = time.perf_counter()
         for _ in range(idle_rounds):
             assert loop.run_round()["keys_healed"] == 0
         idle_wall = time.perf_counter() - t0
         assert loop.counters["keys_healed"] == n_entries
+        assert loop.counters["digest_skips"] == idle_rounds
+
+        # the pre-digest baseline: what an idle round used to ship — the
+        # full key list per peer per interval
+        from repro.service import RemoteStore
+
+        probe = RemoteStore(f"remote://127.0.0.1:{server.port}")
+        t0 = time.perf_counter()
+        for _ in range(idle_rounds):
+            assert len(probe.fetch_keys()) == n_entries
+        full_wall = time.perf_counter() - t0
+        probe.close()
     finally:
         if loop is not None:
             loop.stop()
@@ -454,7 +469,47 @@ def test_antientropy_idle_and_heal(benchmark, tmp_path, remote_mode):
         f"\nanti-entropy (loopback, {n_entries} entries, "
         f"{healed_bytes / 1e3:.0f} kB): heal {heal_wall * 1e3:.1f} ms "
         f"({n_entries / max(heal_wall, 1e-9):.0f} entries/s), idle round "
-        f"{idle_wall / idle_rounds * 1e3:.2f} ms (x{idle_rounds})"
+        f"{idle_wall / idle_rounds * 1e3:.2f} ms via keys_digest vs "
+        f"{full_wall / idle_rounds * 1e3:.2f} ms full keys exchange "
+        f"(x{idle_rounds})"
+    )
+
+
+def test_fleet_audit_probe_cost(benchmark, tmp_path, remote_mode):
+    """--remote: one full read-only audit pass over a 2-replica fleet.
+
+    The auditor's promise is two RPCs per replica (``keys_digest`` +
+    ``stats``) regardless of store size — this times a whole
+    ``repro store audit`` pass against a converged loopback pair, the
+    number an operator compares against their CI budget."""
+    from repro.service import FleetAuditor, StoreServer, exit_code_for
+
+    programs = _suite_programs()
+    config = PipelineConfig(policy_name="map2b4l")
+    locals_ = [PulseStore(str(tmp_path / f"replica{i}")) for i in range(2)]
+    servers = [StoreServer(store).start() for store in locals_]
+    spec = f"remote://{servers[0].address}|{servers[1].address}"
+    try:
+        from repro.service import ReplicatedStore
+
+        CompileService(
+            ReplicatedStore(spec), config, backend="thread", n_workers=4
+        ).submit_batch(programs)
+        n_entries = len(locals_[0])
+        assert n_entries > 0
+
+        auditor = FleetAuditor(spec, timeout_s=5.0)
+        t0 = time.perf_counter()
+        findings = run_once(benchmark, auditor.run)
+        audit_wall = time.perf_counter() - t0
+        assert findings == []
+        assert exit_code_for(findings) == 0
+    finally:
+        for server in servers:
+            server.stop()
+    print(
+        f"\nfleet audit (loopback, 2 replicas, {n_entries} entries): "
+        f"clean pass {audit_wall * 1e3:.1f} ms"
     )
 
 

@@ -21,6 +21,9 @@ Usage::
         --anti-entropy-interval 5 --peers db2:7401  # self-healing replica
     python -m repro store stats --store "remote://db1:7777|db2:7777" --json
     python -m repro store repair --store "remote://db1:7777|db2:7777"
+    python -m repro store audit --store "remote://db1:7777|db2:7777" --json
+    python -m repro store audit --store /tmp/pulses --fail-on warn
+    python -m repro dashboard --store "remote://db1:7777|db2:7777"  # live page
     python -m repro worker --connect solver:7778           # remote solver
 """
 
@@ -74,9 +77,10 @@ def _run(name: str, mode: str) -> None:
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Service subcommands parse their own flags (repro serve/batch --store ...).
-    if argv and argv[0] in ("serve", "batch", "store", "worker"):
+    if argv and argv[0] in ("serve", "batch", "store", "worker", "dashboard"):
         from repro.service.frontdoor import (
             cmd_batch,
+            cmd_dashboard,
             cmd_serve,
             cmd_store,
             cmd_worker,
@@ -87,6 +91,7 @@ def main(argv=None) -> int:
             "batch": cmd_batch,
             "store": cmd_store,
             "worker": cmd_worker,
+            "dashboard": cmd_dashboard,
         }[argv[0]]
         return handler(argv[1:])
     parser = argparse.ArgumentParser(
@@ -96,7 +101,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), or 'all', 'list', 'perf', "
-             "'serve', 'batch', 'store', 'worker'",
+             "'serve', 'batch', 'store', 'worker', 'dashboard'",
     )
     parser.add_argument(
         "--mode",
@@ -119,6 +124,7 @@ def main(argv=None) -> int:
         print("batch")
         print("store")
         print("worker")
+        print("dashboard")
         return 0
     if args.experiment == "perf":
         from repro.perf.hotpaths import run_perf

@@ -145,6 +145,26 @@ climbing ``failovers`` (reads skipped it) or ``degraded`` (writes it
 dropped) is unhealthy; anti-entropy closes the data lag, but the host
 still needs attention.
 
+*Observing the fleet*: ``repro store audit --store <spec>`` is the
+read-only health walk (:mod:`repro.service.audit`) — run it from CI or
+cron against any spec, local or remote. Exit codes: 0 clean (or every
+finding below the ``--fail-on`` gate, default ``error``); 1/4/5/6 when
+the worst finding is info/warn/error/critical; 2 stays the usage error
+and 3 the batch ``QuorumError``, so a monitor can tell "fleet sick" from
+"command wrong". Reading the finding codes: ``replica_divergence``,
+``antientropy_unreachable_peers``, and ``orphan_entries`` name lags that
+a *running* anti-entropy loop heals on its own — wait out an interval or
+two and re-audit before paging anyone. ``antientropy_stalled``,
+``antientropy_paused``, and a divergence that survives several intervals
+mean nothing will self-heal: resume the loop or run ``repro store
+repair`` for a synchronous catch-up. ``fingerprint_drift`` and
+``manifest_unreadable`` (critical) never self-heal — a human decides
+which copy of the data is right. ``repro dashboard --store <route>
+[--fleet host:p,...]`` serves the live view (:mod:`repro.service.dashboard`):
+an HTML page of per-shard hit rates, per-replica health, and anti-entropy
+heal progress, ``/metrics`` in Prometheus text for scraping, and
+``/findings`` running this same auditor per request.
+
 *When is manual ``repro store repair`` still needed?* When no serving
 replica has the missing entries in its anti-entropy scope: both loops
 were disabled/paused, or an operator replaced a replica's directory
@@ -161,10 +181,18 @@ clients are micro-batched within a planning window, solved concurrently in
 executor threads, coalesced across batches, and answered out of order
 (correlated by request id). ``repro batch`` compiles a workload list as one
 batch; ``repro store`` administers a store directory (stats / reshard /
-revalidate). See ``repro.service.frontdoor``.
+revalidate / repair / audit); ``repro dashboard`` serves the live fleet
+page. See ``repro.service.frontdoor``.
 """
 
 from repro.service.asyncserve import AsyncCompileServer
+from repro.service.audit import (
+    Finding,
+    FleetAuditor,
+    exit_code_for,
+    worst_severity,
+)
+from repro.service.dashboard import DashboardServer, FleetPoller
 from repro.service.executor import (
     GroupCoalescer,
     ProcessBackend,
@@ -204,6 +232,10 @@ __all__ = [
     "BatchReport",
     "CompilePlanner",
     "CompileService",
+    "DashboardServer",
+    "Finding",
+    "FleetAuditor",
+    "FleetPoller",
     "GroupCoalescer",
     "ProcessBackend",
     "PulseStore",
@@ -224,9 +256,11 @@ __all__ = [
     "ThreadBackend",
     "WorkerPlan",
     "WorkerPoolExecutor",
+    "exit_code_for",
     "make_backend",
     "open_store",
     "parse_route",
     "reshard",
     "worker_loop",
+    "worst_severity",
 ]

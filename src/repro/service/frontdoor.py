@@ -30,7 +30,18 @@ loop. Replica routes take query params: ``?w=majority`` (or ``1``/
 ``all``) sets the write concern — a write that cannot reach its quorum
 raises :class:`~repro.service.replication.QuorumError`, which ``repro
 batch`` reports loudly with exit code 3 — and ``?retries=&backoff=&cap=``
-tune the wire retry policy.
+tune the wire retry policy. ``audit`` walks any spec **read-only**
+(local directory, sharded root, or replicated remote routes) and emits
+typed findings from :mod:`repro.service.audit` — JSON with ``--json``,
+an ascii table otherwise — gating its exit code on ``--fail-on
+SEVERITY`` (clean or below the gate exits 0; a worst finding of
+info/warn/error/critical exits 1/4/5/6, so CI distinguishes an unhealthy
+fleet from a usage error).
+
+``repro dashboard --store remote://... [--fleet host:p,...]`` serves the
+live observability page (:mod:`repro.service.dashboard`): per-shard hit
+rates, per-replica health, anti-entropy heal progress, a Prometheus
+``/metrics`` endpoint, and ``/findings`` (a live audit pass).
 
 ``repro worker --connect host:port`` is the other leg: a solver process
 for a service started with ``--workers remote``, which dispatches each
@@ -48,7 +59,8 @@ import argparse
 import json
 import os
 import sys
-from typing import IO, List, Sequence
+import threading
+from typing import IO, List, Optional, Sequence
 
 from repro.circuits.circuit import Circuit
 from repro.service.protocol import (
@@ -417,6 +429,30 @@ def cmd_store(argv: Sequence[str]) -> int:
              "every |-separated route is compared and caught up",
     )
 
+    from repro.service.audit import SEVERITIES
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="read-only fleet health walk: typed findings with a "
+             "severity-gated exit code (see service/audit.py)",
+    )
+    p_audit.add_argument(
+        "--store", required=True,
+        help="any store spec: local directory, sharded root, or "
+             "remote://h1a:p|h1b:p[,remote://h2:p|...] replica routes",
+    )
+    p_audit.add_argument("--json", action="store_true", dest="as_json")
+    p_audit.add_argument(
+        "--fail-on", dest="fail_on", choices=SEVERITIES, default="error",
+        help="exit nonzero when the worst finding is at/above this "
+             "severity (default: error; the exit code still reflects the "
+             "worst severity found)",
+    )
+    p_audit.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="per-replica probe timeout in seconds (remote specs)",
+    )
+
     args = parser.parse_args(argv)
     try:
         if args.action == "serve":
@@ -473,6 +509,17 @@ def cmd_store(argv: Sequence[str]) -> int:
                 return 2
             print(json.dumps(store.repair(), sort_keys=True))
             return 0
+        if args.action == "audit":
+            from repro.service.audit import FleetAuditor, exit_code_for
+
+            auditor = FleetAuditor(args.store, timeout_s=args.timeout)
+            findings = auditor.run()
+            report = auditor.to_report(findings)
+            if args.as_json:
+                print(json.dumps(report, sort_keys=True, indent=2))
+            else:
+                print_audit_table(report)
+            return exit_code_for(findings, args.fail_on)
         # revalidate
         config, engine = _make_engine(args)
         store = open_store(args.store)
@@ -564,6 +611,89 @@ def print_stats_tables(summary: dict, out: IO[str] = sys.stdout) -> None:
             ),
             file=out,
         )
+
+
+def print_audit_table(report: dict, out: Optional[IO[str]] = None) -> None:
+    """Human rendering of an audit report: one finding per row."""
+    from repro.analysis.reporting import ascii_table
+
+    out = sys.stdout if out is None else out
+    findings = report["findings"]
+    title = (
+        f"repro store audit — {report['spec']}: "
+        + (
+            f"{len(findings)} finding(s), worst {report['worst']}"
+            if findings
+            else "clean"
+        )
+    )
+    rows = [
+        [f["severity"], f["code"], f["locus"], f["message"]]
+        for f in findings
+    ] or [["-", "-", "-", "no findings"]]
+    print(ascii_table(["severity", "code", "locus", "message"], rows, title),
+          file=out)
+
+
+# --------------------------------------------------------------- dashboard
+def cmd_dashboard(argv: Sequence[str]) -> int:
+    """``repro dashboard``: the live fleet observability page.
+
+    Announces ``{"dashboard": "host:port"}`` on stdout once bound (the
+    same contract as ``repro store serve``), then blocks until
+    interrupted. Exits 2 when the spec plus ``--fleet`` expand to zero
+    TCP targets — a local directory has no server to poll.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro dashboard",
+        description="Live fleet dashboard over the store `stats` verb: "
+                    "HTML page, /metrics (Prometheus text), /findings "
+                    "(live audit).",
+    )
+    parser.add_argument(
+        "--store", default=None,
+        help="remote://... route table; every replica of every route "
+             "becomes a polled target (and the /findings audit spec)",
+    )
+    parser.add_argument(
+        "--fleet", default=None,
+        help="comma-separated host:port extras to poll beyond --store",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="0 picks a free port; the bound address is announced as the "
+             "first stdout line",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between stats polls of each target",
+    )
+    args = parser.parse_args(argv)
+    from repro.service.dashboard import serve_dashboard
+
+    fleet = [p.strip() for p in (args.fleet or "").split(",") if p.strip()]
+    try:
+        server = serve_dashboard(
+            args.store,
+            fleet,
+            host=args.host,
+            port=args.port,
+            interval_s=args.interval,
+        )
+    except (ValueError, OSError, StoreVersionError) as exc:
+        print(f"repro dashboard: {exc}", file=sys.stderr)
+        return 2
+    print(
+        json.dumps({"dashboard": f"{args.host}:{server.port}"}), flush=True
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
 
 
 # ------------------------------------------------------------------- batch

@@ -295,14 +295,21 @@ class RemoteStoreStats(StoreStats):
 
     ``degraded`` counts operations absorbed after a failed
     reconnect-and-retry — each one is a get served as a miss, a dropped
-    cache write, or an empty snapshot. Zero on a healthy fabric.
+    cache write, or an empty snapshot. ``retry_exhausted`` counts the
+    underlying RPCs that burned their whole :class:`RetryPolicy` budget —
+    it ticks even when a raising primitive's caller (failover, repair,
+    anti-entropy) goes on to recover elsewhere, so a flapping host shows
+    up here before anything actually degrades. Both zero on a healthy
+    fabric.
     """
 
     degraded: int = 0
+    retry_exhausted: int = 0
 
     def to_dict(self) -> Dict[str, float]:
         payload = super().to_dict()
         payload["degraded"] = self.degraded
+        payload["retry_exhausted"] = self.retry_exhausted
         return payload
 
 
@@ -433,6 +440,7 @@ class RemoteStore(StoreBackend):
                     on_failure=self._disconnect,
                 )
             except (OSError, ValueError) as exc:
+                self.stats.retry_exhausted += 1  # already under self._lock
                 self.perf.count(self.stat_prefix + "retry_exhausted")
                 raise RemoteUnavailable(
                     f"store at {self.address} unreachable after "
@@ -472,6 +480,17 @@ class RemoteStore(StoreBackend):
     def fetch_keys(self) -> List[bytes]:
         response = self._rpc({"op": "keys"})
         return [bytes.fromhex(k) for k in response["keys"]]
+
+    def fetch_keys_digest(self) -> Dict:
+        """One ``keys_digest`` round trip: ``{"digest": hex, "n": N}``.
+
+        The constant-size replica-convergence probe — compare against
+        :func:`~repro.service.storeserver.digest_keys` of another key set
+        instead of shipping full key lists. Raises ``RuntimeError`` when
+        the server predates the verb (callers fall back to
+        :meth:`fetch_keys`)."""
+        response = self._rpc({"op": "keys_digest"})
+        return {"digest": response["digest"], "n": int(response["n"])}
 
     def fetch_snapshot(self) -> PulseLibrary:
         response = self._rpc({"op": "snapshot"})
@@ -634,8 +653,25 @@ class RemoteStore(StoreBackend):
         and seed tag as the server-side pass), push the results back."""
         return revalidate_via_snapshot(self, engine, budget)
 
+    def fingerprints(self) -> List[str]:
+        """The server store's engine stamps (empty when unreachable, or
+        when the server predates the stats stamp)."""
+        try:
+            response = self._rpc({"op": "stats"})
+        except RemoteUnavailable:
+            self._degrade()
+            return []
+        return list(response.get("fingerprints") or [])
+
     def server_stats(self) -> Optional[Dict]:
-        """The server's own counters (None when unreachable)."""
+        """The server's own counters and stamps (None when unreachable).
+
+        Carries everything the ``stats`` verb answers: counter dicts,
+        entry totals, the anti-entropy loop status, the monotonic
+        ``uptime_s``/``snapshot_seq`` stamps a poller computes rates
+        from, the engine ``fingerprints``, and the ``non_converged`` and
+        ``orphans`` counts (absent keys from an older server come back
+        as None)."""
         try:
             response = self._rpc({"op": "stats"})
         except RemoteUnavailable:
@@ -645,6 +681,12 @@ class RemoteStore(StoreBackend):
             "stats": response["stats"],
             "shards": response["shards"],
             "entries": response["entries"],
+            "antientropy": response.get("antientropy"),
+            "uptime_s": response.get("uptime_s"),
+            "snapshot_seq": response.get("snapshot_seq"),
+            "fingerprints": response.get("fingerprints"),
+            "non_converged": response.get("non_converged"),
+            "orphans": response.get("orphans"),
         }
 
 

@@ -214,6 +214,7 @@ class ReplicatedStore(StoreBackend):
             merged.quorum_failures = self._stats.quorum_failures
         for replica in self.replicas:
             merged.degraded += replica.stats.degraded
+            merged.retry_exhausted += replica.stats.retry_exhausted
         return merged
 
     def stats_by_replica(self) -> List[Dict[str, float]]:
@@ -318,6 +319,15 @@ class ReplicatedStore(StoreBackend):
     def coverage(self, groups: Sequence[GateGroup]) -> CoverageReport:
         """One ``keys`` round trip (failover), membership client-side."""
         return coverage_from_keys(set(self.keys()), groups)
+
+    def fingerprints(self) -> List[str]:
+        """Union of every *reachable* replica's engine stamps — unlike
+        reads this deliberately does not stop at the first live replica:
+        drift between replicas is exactly what the caller is looking for."""
+        seen = set()
+        for replica in self.replicas:
+            seen.update(replica.fingerprints())
+        return sorted(seen)
 
     def _degrade(self) -> None:
         self._count_n("degraded", 1)

@@ -290,6 +290,10 @@ class ShardedStore(StoreBackend):
             merged.evictions += shard_stats.evictions
             if hasattr(merged, "degraded"):
                 merged.degraded += getattr(shard_stats, "degraded", 0)
+            if hasattr(merged, "retry_exhausted"):
+                merged.retry_exhausted += getattr(
+                    shard_stats, "retry_exhausted", 0
+                )
             if hasattr(merged, "failovers"):
                 merged.failovers += getattr(shard_stats, "failovers", 0)
             if hasattr(merged, "acked"):
@@ -327,6 +331,14 @@ class ShardedStore(StoreBackend):
         for shard in self.shards:
             keys.extend(shard.keys())
         return keys
+
+    def fingerprints(self) -> List[str]:
+        """Union of per-shard stamps — more than one element means the
+        shards disagree on engine identity (fingerprint drift)."""
+        seen = set()
+        for shard in self.shards:
+            seen.update(shard.fingerprints())
+        return sorted(seen)
 
     def snapshot(self) -> PulseLibrary:
         """Merged per-shard snapshots — each taken under its own shard lock.

@@ -240,6 +240,18 @@ class StoreBackend(abc.ABC):
         annotates each row with its shard index)."""
         return []
 
+    def fingerprints(self) -> List[str]:
+        """Distinct engine-identity stamps this backend serves (sorted).
+
+        A healthy store has at most one — every shard and replica was
+        populated under the same engine/run configuration. More than one
+        is *fingerprint drift* (mixed data that would serve wrong
+        latencies), the critical finding the fleet auditor checks for.
+        Unstamped parts contribute nothing; backends that cannot know
+        (e.g. an unreachable remote) return what they can see.
+        """
+        return []
+
 
 class PulseStore(StoreBackend):
     """Disk-backed :class:`PulseLibrary` with stats and bounded size.
@@ -450,6 +462,10 @@ class PulseStore(StoreBackend):
     def keys(self) -> List[bytes]:
         with self._lock:
             return list(self._library.keys())
+
+    def fingerprints(self) -> List[str]:
+        with self._lock:
+            return [self._fingerprint] if self._fingerprint else []
 
     def library(self) -> PulseLibrary:
         """The live in-memory library view (shared, do not mutate)."""

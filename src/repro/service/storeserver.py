@@ -20,9 +20,13 @@ Wire protocol (requests carry ``op``; responses carry ``ok``)::
         -> {"ok": true, "n": N}
     {"op": "snapshot"} -> {"ok": true, "entries": ["<b64>", ...]}
     {"op": "keys"}     -> {"ok": true, "keys": ["<hex>", ...]}
+    {"op": "keys_digest"} -> {"ok": true, "digest": "<sha256 hex>", "n": N}
     {"op": "flush"}    -> {"ok": true}
     {"op": "stats"}    -> {"ok": true, "stats": {...}, "shards": [...],
-                           "entries": N, "antientropy": {...}|null}
+                           "entries": N, "antientropy": {...}|null,
+                           "uptime_s": S, "snapshot_seq": K,
+                           "fingerprints": [...], "non_converged": N|null,
+                           "orphans": N|null}
     {"op": "fingerprint", "fingerprint": "<id>"} -> {"ok": true}
     {"op": "antientropy", "action": "status"|"pause"|"resume"|"heal"}
         -> {"ok": true, "antientropy": {...}}       # loop status after action
@@ -61,20 +65,43 @@ over the wire (``{"op": "antientropy", "action": "pause"}``), skips
 unreachable peers (counted, retried next round), and surfaces
 ``store.antientropy.*`` perf counters plus a ``status()`` payload in the
 ``stats`` response.
+
+**Observability.** ``keys_digest`` answers one SHA-256 over the sorted
+per-key digests (:func:`digest_keys`) — the one-RPC replica-divergence
+probe the fleet auditor (:mod:`repro.service.audit`) and the anti-entropy
+idle round both use: two converged replicas exchange ~100 bytes instead
+of their full key lists. The ``stats`` reply is stamped with a monotonic
+``uptime_s`` (seconds since ``start()``) and a ``snapshot_seq`` counter
+(bumped per ``stats`` request), so a polling dashboard
+(:mod:`repro.service.dashboard`) computes true rates from server-side
+deltas and detects restarts, plus the store's engine ``fingerprints`` and
+its ``non_converged`` entry count (``null`` when the backend has no live
+library view to count from). ``orphans`` counts entry files on the
+server's disk that no manifest row claims (``null`` for non-filesystem
+backends) — the auditor reads it over the wire, so a *remote* audit still
+surfaces disk-level debris it could never ``listdir`` itself.
 """
 
 from __future__ import annotations
 
 import base64
+import hashlib
 import json
+import os
 import random
 import socket
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.cache import LibraryEntry, entry_from_dict, entry_to_dict
 from repro.perf.instrument import PerfRecorder, recorder_or_null
-from repro.service.store import StoreBackend, StoreVersionError
+from repro.service.store import (
+    ENTRIES_DIR,
+    StoreBackend,
+    StoreVersionError,
+    key_digest,
+)
 
 # Upper bound on one get_many/put_many frame. Far above any real batch
 # (a batch's unique-group count is hundreds at most) but small enough
@@ -92,6 +119,81 @@ def encode_entry(entry: LibraryEntry) -> str:
 def decode_entry(payload: str) -> LibraryEntry:
     """Inverse of :func:`encode_entry`."""
     return entry_from_dict(json.loads(base64.b64decode(payload.encode("ascii"))))
+
+
+def digest_keys(keys: Iterable[bytes]) -> str:
+    """Order-independent SHA-256 over a key set's per-key digests.
+
+    Two stores holding the same keys produce the same digest whatever
+    order their ``keys()`` iterate in — the one-number answer to "are
+    these replicas converged?" that the ``keys_digest`` protocol verb,
+    the anti-entropy idle round, and the fleet auditor all compare.
+    """
+    hasher = hashlib.sha256()
+    for digest in sorted(key_digest(key) for key in keys):
+        hasher.update(digest.encode("ascii"))
+    return hasher.hexdigest()
+
+
+def non_converged_count(store: StoreBackend) -> Optional[int]:
+    """Non-converged entries across a *local* backend's live libraries.
+
+    Counted from the in-memory library views (no disk reads, no entry
+    decode), shard by shard; ``None`` when any part lacks a live view
+    (a remote-backed store has no cheap way to count without pulling the
+    snapshot, which a stats poll must never do).
+    """
+    total = 0
+    for part in getattr(store, "shards", [store]):
+        # _library is the in-memory PulseLibrary; its presence is what
+        # distinguishes a local part from a wire-backed one (whose
+        # `library()` alias would pull a full snapshot RPC per poll).
+        if getattr(part, "_library", None) is None:
+            return None
+        lock = getattr(part, "_lock", None)
+        try:
+            if lock is not None:
+                with lock:
+                    entries = list(part.library().entries())
+            else:
+                entries = list(part.library().entries())
+        except Exception:
+            return None
+        total += sum(1 for entry in entries if not entry.converged)
+    return total
+
+
+def orphan_count(store: StoreBackend) -> Optional[int]:
+    """Entry files with no manifest row, across a *local* backend's parts.
+
+    A crash between the entry-file write and the manifest flush leaves an
+    orphan (tolerated by design); the count is served in the ``stats``
+    reply so a remote auditor can surface disk-level hygiene without
+    disk access of its own. ``None`` when any part has no ``root``
+    directory to walk (a wire-backed store has no local disk).
+    """
+    total = 0
+    for part in getattr(store, "shards", [store]):
+        root = getattr(part, "root", None)
+        if root is None or not os.path.isdir(str(root)):
+            return None
+        entries_dir = os.path.join(str(root), ENTRIES_DIR)
+        try:
+            on_disk = {
+                name[: -len(".json")]
+                for name in os.listdir(entries_dir)
+                if name.endswith(".json")
+            }
+            lock = getattr(part, "_lock", None)
+            if lock is not None:
+                with lock:
+                    known = {key_digest(key) for key in part.keys()}
+            else:
+                known = {key_digest(key) for key in part.keys()}
+        except Exception:
+            return None
+        total += len(on_disk - known)
+    return total
 
 
 def _error(message: str, kind: str = "server", op: Optional[str] = None) -> Dict:
@@ -156,10 +258,13 @@ class AntiEntropyLoop:
     the perf recorder as ``store.antientropy.rounds`` / ``.keys_healed`` /
     ``.bytes`` / ``.skipped_unreachable``.
 
-    Sizing note: a round is O(union of key sets) per peer on the wire for
-    digests plus O(difference) for entry payloads — on a converged fleet
-    it is one ``keys`` frame per peer per interval (see PERF.md for
-    measured idle cost and heal throughput).
+    Sizing note: every round opens with one ``keys_digest`` probe per
+    peer (one hash, ~100 bytes); only a mismatch pays the O(union of key
+    sets) full ``keys`` exchange plus O(difference) entry payloads — so a
+    converged fleet's idle round is a constant-size frame per peer
+    however many entries it holds (``digest_skips`` counts these
+    short-circuits; see PERF.md for measured idle cost and heal
+    throughput).
     """
 
     def __init__(
@@ -186,6 +291,7 @@ class AntiEntropyLoop:
             "keys_healed": 0,
             "bytes": 0,
             "skipped_unreachable": 0,
+            "digest_skips": 0,
         }
         self._clients = None  # built lazily; RemoteStore imports circularly
         self._lock = threading.Lock()  # counters
@@ -268,15 +374,28 @@ class AntiEntropyLoop:
         """
         from repro.service.remote import RemoteUnavailable
 
-        healed = moved_bytes = skipped = 0
+        healed = moved_bytes = skipped = digest_skips = 0
         with self._round_lock:
             for client in self._peer_clients():
+                local_keys = set(self.store.keys())
                 try:
+                    # Digest probe first: a converged peer costs one ~100-
+                    # byte round trip instead of the full key list — the
+                    # steady-state cost of every idle round. An older
+                    # server answers the unknown verb with a bad-request
+                    # error (RuntimeError here), so fall back to the full
+                    # exchange rather than refuse to heal across versions.
+                    try:
+                        probe = client.fetch_keys_digest()
+                        if probe["digest"] == digest_keys(local_keys):
+                            digest_skips += 1
+                            continue
+                    except RuntimeError:
+                        pass
                     peer_keys = set(client.fetch_keys())
                 except RemoteUnavailable:
                     skipped += 1
                     continue
-                local_keys = set(self.store.keys())
                 try:
                     # Pull what the peer has and we miss...
                     pulled: List[LibraryEntry] = []
@@ -309,10 +428,12 @@ class AntiEntropyLoop:
         self._count("keys_healed", healed)
         self._count("bytes", moved_bytes)
         self._count("skipped_unreachable", skipped)
+        self._count("digest_skips", digest_skips)
         return {
             "keys_healed": healed,
             "bytes": moved_bytes,
             "skipped_unreachable": skipped,
+            "digest_skips": digest_skips,
         }
 
     # -------------------------------------------------------------- status
@@ -358,6 +479,9 @@ class StoreServer:
         self._conn_lock = threading.Lock()
         self._conns: set = set()
         self.n_requests = 0
+        self._started_at: Optional[float] = None  # monotonic, set by start()
+        self._stats_lock = threading.Lock()
+        self._stats_seq = 0  # bumped per stats reply (restart detector)
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "StoreServer":
@@ -366,6 +490,7 @@ class StoreServer:
         listener.bind((self.host, self.port))
         listener.listen()
         self.port = listener.getsockname()[1]
+        self._started_at = time.monotonic()
         self._listener = listener
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="store-accept", daemon=True
@@ -517,10 +642,24 @@ class StoreServer:
             }
         if op == "keys":
             return {"ok": True, "keys": [k.hex() for k in store.keys()]}
+        if op == "keys_digest":
+            keys = store.keys()
+            return {"ok": True, "digest": digest_keys(keys), "n": len(keys)}
         if op == "flush":
             store.flush()
             return {"ok": True}
         if op == "stats":
+            with self._stats_lock:
+                self._stats_seq += 1
+                seq = self._stats_seq
+            # Server-side clock and sequence: a poller computes true rates
+            # from uptime deltas (no client poll-jitter guessing) and
+            # detects a restart as uptime running backwards.
+            uptime = (
+                time.monotonic() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            )
             return {
                 "ok": True,
                 "stats": store.stats.to_dict(),
@@ -529,6 +668,11 @@ class StoreServer:
                 "antientropy": (
                     self.antientropy.status() if self.antientropy else None
                 ),
+                "uptime_s": uptime,
+                "snapshot_seq": seq,
+                "fingerprints": store.fingerprints(),
+                "non_converged": non_converged_count(store),
+                "orphans": orphan_count(store),
             }
         if op == "fingerprint":
             store.claim_fingerprint(str(request["fingerprint"]))

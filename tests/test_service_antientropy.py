@@ -104,9 +104,13 @@ def test_round_pulls_and_pushes_the_difference(tmp_path, config):
         assert (
             perf.counters["store.antientropy.keys_healed"] == len(entries)
         )
-        # converged: the next round moves nothing
-        assert loop.run_round()["keys_healed"] == 0
+        # converged: the next round moves nothing — and cheaply, via the
+        # constant-size keys_digest probe instead of a full keys exchange
+        idle = loop.run_round()
+        assert idle["keys_healed"] == 0
+        assert idle["digest_skips"] == 1
         assert loop.counters["rounds"] == 2
+        assert loop.counters["digest_skips"] == 1
         loop.stop()
     finally:
         server_a.stop()

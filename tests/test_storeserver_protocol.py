@@ -159,6 +159,50 @@ def test_get_many_answers_aligned_with_keys(served, tmp_path):
         client.close()
 
 
+def test_keys_digest_matches_local_digest(served, tmp_path):
+    server, store = served
+    from repro.service.storeserver import digest_keys
+
+    client = _Client(server)
+    try:
+        # Empty store first: a well-defined digest over zero keys.
+        reply = client.ask({"op": "keys_digest"})
+        assert reply["ok"] is True
+        assert reply["n"] == 0
+        assert reply["digest"] == digest_keys([])
+
+        keys = _populate(tmp_path, store)
+        reply = client.ask({"op": "keys_digest"})
+        assert reply["ok"] is True
+        assert reply["n"] == len(keys)
+        assert reply["digest"] == digest_keys(store.keys())
+        # Order-independence: any permutation hashes identically.
+        assert reply["digest"] == digest_keys(reversed(list(store.keys())))
+    finally:
+        client.close()
+
+
+def test_stats_reply_carries_uptime_and_snapshot_seq(served, tmp_path):
+    server, store = served
+    _populate(tmp_path, store)
+    client = _Client(server)
+    try:
+        first = client.ask({"op": "stats"})
+        assert first["ok"] is True
+        assert first["uptime_s"] >= 0.0
+        second = client.ask({"op": "stats"})
+        # The seq is server-side state: it must strictly increase across
+        # polls (a restarted server starts over — the poller's restart
+        # detector keys off exactly this plus an uptime regression).
+        assert second["snapshot_seq"] == first["snapshot_seq"] + 1
+        assert second["uptime_s"] >= first["uptime_s"]
+        # The observability stamps ride along with the counters.
+        assert first["fingerprints"] == store.fingerprints()
+        assert first["non_converged"] is not None
+    finally:
+        client.close()
+
+
 def test_put_many_round_trips_through_get_many(served, tmp_path):
     server, store = served
     client = _Client(server)
