@@ -26,6 +26,14 @@ def pytest_addoption(parser):
         help="run the remote-fabric service bench (store server + worker "
              "fabric over loopback TCP; bench_service_throughput.py)",
     )
+    parser.addoption(
+        "--batched-grape",
+        action="store_true",
+        default=False,
+        help="run the GRAPE-backed service benches with the cross-pulse "
+             "batched engine (RunConfig.batched_grape) instead of the "
+             "serial oracle (bench_service_throughput.py)",
+    )
 
 
 @pytest.fixture
@@ -38,6 +46,12 @@ def remote_mode(request):
     if not request.config.getoption("--remote"):
         pytest.skip("remote-fabric bench runs with --remote")
     return True
+
+
+@pytest.fixture
+def batched_grape_mode(request):
+    """True when --batched-grape selects the cross-pulse batched engine."""
+    return bool(request.config.getoption("--batched-grape"))
 
 
 def run_once(benchmark, fn, *args, **kwargs):

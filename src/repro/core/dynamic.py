@@ -161,7 +161,20 @@ class AcceleratedCompiler:
             )
         records: List[Optional[CompileRecord]] = [None] * len(groups)
         total_iterations = 0
+        if getattr(
+            getattr(self.engine, "run", None), "batched_grape", False
+        ) and hasattr(self.engine, "compile_group_batch"):
+            # Batched lane: identity-rooted groups have no intra-batch
+            # dependency (chain-warm children do), so same-class roots can
+            # share one kernel stream. Children below still warm-start from
+            # these freshly batched root pulses, exactly as in the serial
+            # order.
+            self._compile_roots_batched(groups, sequence, library, records)
         for index in sequence.order:
+            if records[index] is not None:  # solved in the batched lane
+                total_iterations += records[index].iterations
+                self.perf.count("dynamic.iterations", records[index].iterations)
+                continue
             group = groups[index]
             parent = sequence.parent[index]
             warm_pulse: Optional[Pulse] = None
@@ -193,6 +206,63 @@ class AcceleratedCompiler:
         )
 
     # ------------------------------------------------------------------ impl
+    def _compile_roots_batched(
+        self,
+        groups: Sequence[GateGroup],
+        sequence: CompileSequence,
+        library: Optional[PulseLibrary],
+        records: List[Optional[CompileRecord]],
+    ) -> None:
+        """Solve same-class identity-rooted groups in batched streams.
+
+        Fills ``records`` for every group it takes; the serial loop skips
+        those and compiles the rest (chain-warm children, virtual
+        diagonals, singleton classes) exactly as before. Stage time lands
+        under ``dynamic.solve.batched`` and stream occupancy under the
+        ``grape.batched.*`` counters, so ``CompiledProgram.perf`` /
+        ``repro perf`` show batch occupancy for one-shot compiles too.
+        """
+        from repro.qoc.grape_batched import BatchStats
+
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for index in sequence.order:
+            if sequence.parent[index] != IDENTITY_VERTEX:
+                continue
+            solve_class = self.engine.solve_class(groups[index])
+            if solve_class is None:
+                continue
+            buckets.setdefault(solve_class, []).append(index)
+        batchable = [
+            indices for _, indices in sorted(buckets.items())
+            if len(indices) >= 2
+        ]
+        if not batchable:
+            return
+        stats = BatchStats()
+        for indices in batchable:
+            warm_pulses: List[Optional[Pulse]] = [None] * len(indices)
+            if library is not None:
+                with self.perf.stage("dynamic.library_seed"):
+                    seeds = best_library_seeds(
+                        [groups[i] for i in indices],
+                        library,
+                        self.similarity,
+                        self.library_seed_threshold,
+                    )
+                warm_pulses = [pulse for pulse, _ in seeds]
+            with self.perf.stage("dynamic.solve.batched"):
+                bucket_records = self.engine.compile_group_batch(
+                    [groups[i] for i in indices],
+                    warm_pulses=warm_pulses,
+                    seed_tags=[f"dyn:{i}" for i in indices],
+                    stats=stats,
+                )
+            for index, record in zip(indices, bucket_records):
+                records[index] = record
+        self.perf.count("grape.batched.batch_width", stats.width_sum)
+        self.perf.count("grape.batched.rounds", stats.rounds)
+        self.perf.count("grape.batched.narrowings", stats.narrowings)
+
     def _compile(self, group, warm_pulse, warm_source, tag) -> CompileRecord:
         return compile_with_engine(
             self.engine, group, warm_pulse, warm_source, seed_tag=tag

@@ -207,6 +207,7 @@ from repro.service.remote import (
     RemoteStore,
     RemoteUnavailable,
     RetryPolicy,
+    fabric_stats,
     parse_route,
     worker_loop,
 )
@@ -257,6 +258,7 @@ __all__ = [
     "WorkerPlan",
     "WorkerPoolExecutor",
     "exit_code_for",
+    "fabric_stats",
     "make_backend",
     "open_store",
     "parse_route",

@@ -13,6 +13,14 @@ where its solves ran. Because every :class:`GroupTask` carries its warm
 seed resolved from the batch snapshot (see below), where a part runs can
 never change what it produces.
 
+Orthogonally to *where* a part runs, ``RunConfig.batched_grape`` (the
+``repro batch --engine grape-batched`` flag) changes *how* a worker runs
+it: :func:`run_part` buckets the part's store-seeded tasks by the
+engine's ``(dim, hi_steps)`` solve class and drives each bucket through
+one cross-pulse batched kernel stream instead of K sequential solves
+(see :func:`run_part` and :mod:`repro.qoc.grape_batched` for the exact
+rules). The serial loop remains the default and the bit-identity oracle.
+
 Warm-start modes
 ----------------
 ``warm="store"`` (service default): every group is seeded from the *store
@@ -81,13 +89,36 @@ def seed_tag_for(group: GateGroup) -> str:
     return f"svc:{key_digest(group.key())[:24]}"
 
 
+def _batched_engine(engine) -> bool:
+    """True when the engine opted into cross-pulse batched GRAPE."""
+    run = getattr(engine, "run", None)
+    return bool(getattr(run, "batched_grape", False)) and hasattr(
+        engine, "compile_group_batch"
+    )
+
+
 def run_part(
     engine,
     worker: int,
     tasks: Sequence[GroupTask],
     submitted_at: Optional[float] = None,
 ) -> PartOutcome:
-    """Compile one part in order (module-level so process pools can run it).
+    """Compile one part (module-level so process pools can run it).
+
+    Default path: tasks compile one by one, in order — this serial loop is
+    the bit-identity oracle every other execution strategy is checked
+    against. When the engine carries ``RunConfig.batched_grape`` (the
+    ``repro batch --engine grape-batched`` flag) and exposes
+    ``compile_group_batch``, the part's store-seeded tasks are bucketed by
+    the engine's ``(dim, hi_steps)`` solve class and each bucket of two or
+    more solves runs through one batched kernel stream
+    (:mod:`repro.qoc.grape_batched`) — warm seeds flow in per-solve exactly
+    as on the serial path, and per-solve target/budget semantics are
+    unchanged (only 1e-9-level kernel reassociation differs, which is why
+    the batched path is opt-in rather than the default). Chain-mode tasks
+    (``parent_local`` set) stay serial: a child needs its parent's freshly
+    compiled pulse, a dependency batching cannot honour. Singleton buckets
+    stay serial too — below two solves the stream is pure overhead.
 
     ``submitted_at`` is a ``time.perf_counter`` reading taken when the part
     was handed to the pool; the gap to the part's first instruction is the
@@ -99,9 +130,17 @@ def run_part(
     start = time.perf_counter()
     queue_wait = max(0.0, start - submitted_at) if submitted_at is not None else 0.0
     solve_s = 0.0
-    records: List[CompileRecord] = []
-    iterations = 0
-    for task in tasks:
+    stages: Dict[str, float] = {}
+    counters: Dict[str, int] = {}
+    records: List[Optional[CompileRecord]] = [None] * len(tasks)
+    if _batched_engine(engine):
+        batched_s = _run_batched_buckets(engine, tasks, records, counters)
+        if batched_s is not None:
+            stages["solve.batched"] = batched_s
+            solve_s += batched_s
+    for index, task in enumerate(tasks):
+        if records[index] is not None:  # solved by a batched bucket
+            continue
         warm_pulse, warm_source = task.seed_pulse, task.seed_source
         if task.parent_local is not None:
             # Chain mode: the parent compiled earlier in this same part. A
@@ -118,16 +157,70 @@ def run_part(
             seed_tag=task.seed_tag,
         )
         solve_s += time.perf_counter() - t0
-        iterations += record.iterations
-        records.append(record)
+        records[index] = record
+    iterations = sum(record.iterations for record in records)
+    stages["solve"] = solve_s
+    counters.update({"groups": len(tasks), "iterations": iterations})
     return PartOutcome(
         worker=worker,
-        records=records,
+        records=list(records),
         wall_s=time.perf_counter() - start,
-        perf_stages={"solve": solve_s},
-        perf_counters={"groups": len(tasks), "iterations": iterations},
+        perf_stages=stages,
+        perf_counters=counters,
         queue_wait_s=queue_wait,
     )
+
+
+def _run_batched_buckets(
+    engine,
+    tasks: Sequence[GroupTask],
+    records: List[Optional[CompileRecord]],
+    counters: Dict[str, int],
+) -> Optional[float]:
+    """Solve the part's batchable buckets; fill ``records`` in place.
+
+    Returns the wall seconds spent in batched solves (None when nothing
+    was batchable), and accumulates the stream-occupancy counters
+    (``grape.batched.batch_width`` = sum of per-round widths,
+    ``grape.batched.rounds``, ``grape.batched.narrowings``) the batch
+    report surfaces per worker.
+    """
+    from repro.qoc.grape_batched import BatchStats
+
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    for index, task in enumerate(tasks):
+        if task.parent_local is not None:  # chain dependency: stays serial
+            continue
+        solve_class = engine.solve_class(task.group)
+        if solve_class is None:  # virtual diagonal: trivial, stays serial
+            continue
+        buckets.setdefault(solve_class, []).append(index)
+    batchable = [
+        indices for _, indices in sorted(buckets.items()) if len(indices) >= 2
+    ]
+    if not batchable:
+        return None
+    stats = BatchStats()
+    batched_s = 0.0
+    n_batched = 0
+    for indices in batchable:
+        t0 = time.perf_counter()
+        bucket_records = engine.compile_group_batch(
+            [tasks[i].group for i in indices],
+            warm_pulses=[tasks[i].seed_pulse for i in indices],
+            seed_tags=[tasks[i].seed_tag for i in indices],
+            stats=stats,
+        )
+        batched_s += time.perf_counter() - t0
+        for i, record in zip(indices, bucket_records):
+            records[i] = record
+        n_batched += len(indices)
+    counters["grape.batched.groups"] = n_batched
+    counters["grape.batched.buckets"] = len(batchable)
+    counters["grape.batched.batch_width"] = stats.width_sum
+    counters["grape.batched.rounds"] = stats.rounds
+    counters["grape.batched.narrowings"] = stats.narrowings
+    return batched_s
 
 
 def _run_part_payload(payload: Tuple) -> PartOutcome:

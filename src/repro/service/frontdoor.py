@@ -83,8 +83,11 @@ def _make_engine(args):
 
     config = PipelineConfig(policy_name=args.policy)
     engine = None
-    if args.engine == "grape":
-        engine = GrapeEngine(config.physics, config.run.fast())
+    if args.engine in ("grape", "grape-batched"):
+        run = config.run.fast()
+        if args.engine == "grape-batched":
+            run = run.batched()
+        engine = GrapeEngine(config.physics, run)
     return config, engine
 
 
@@ -121,8 +124,15 @@ def _make_service(args, announce: IO[str] = sys.stdout) -> CompileService:
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--engine", choices=("model", "grape"), default="model",
-        help="model = instant cost-model solves; grape = real optimizer",
+        "--engine", choices=("model", "grape", "grape-batched"),
+        default="model",
+        help="model = instant cost-model solves; grape = real optimizer "
+             "(the serial loop, the bit-identity oracle); grape-batched = "
+             "same optimizer with each worker's same-(dim, steps) groups "
+             "solved through one batched kernel stream — identical "
+             "target/budget semantics and store fingerprint (stores "
+             "interoperate), results equal to serial at kernel precision "
+             "(1e-9) rather than bit-identically",
     )
     parser.add_argument("--policy", default="map2b4l")
 
@@ -313,6 +323,11 @@ def cmd_worker(argv: Sequence[str]) -> int:
     it is handed (warm seeds travel with the tasks, so pulses match the
     serial executor bit for bit), and exits 0 when the fabric hangs up —
     printing how many parts it handled as a JSON line.
+
+    ``--stats`` turns the same address into a read-only occupancy probe:
+    instead of enrolling as a solver, print the fabric's ``stats``
+    snapshot (workers connected, parts in flight / queued, dispatch
+    counters, per-worker solve/wire timings) as one JSON line and exit.
     """
     parser = argparse.ArgumentParser(
         prog="repro worker",
@@ -332,10 +347,24 @@ def cmd_worker(argv: Sequence[str]) -> int:
         "--connect-timeout", type=float, default=30.0,
         help="seconds to keep retrying the initial connection",
     )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="don't enroll as a solver: print the fabric's occupancy "
+             "snapshot (workers, parts in flight/queued, per-worker solve "
+             "timings) as JSON and exit",
+    )
     args = parser.parse_args(argv)
-    from repro.service.remote import worker_loop
+    from repro.service.remote import fabric_stats, worker_loop
 
     try:
+        if args.stats:
+            print(
+                json.dumps(
+                    fabric_stats(args.connect, timeout_s=args.connect_timeout)
+                ),
+                flush=True,
+            )
+            return 0
         handled = worker_loop(
             args.connect,
             max_parts=args.max_parts,
@@ -755,6 +784,7 @@ def batch_summary(batch: BatchReport) -> dict:
         "modelled_speedup": round(batch.modelled_speedup, 4),
         "wall_s": round(batch.wall_time, 4),
         "store": batch.store_stats,
+        "perf": batch.perf.to_dict() if batch.perf is not None else None,
     }
 
 

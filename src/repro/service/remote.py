@@ -813,6 +813,10 @@ class RemoteExecutor:
         self._queue: "queue.Queue" = queue.Queue()
         self._live_lock = threading.Condition()
         self._live = 0  # connected worker handlers
+        self._in_flight = 0  # parts currently round-tripping on a worker
+        self._next_worker = 0  # monotonic label counter, never reused
+        self._worker_stats: Dict[str, Dict] = {}  # label -> occupancy row
+        self.started_at = time.monotonic()
         self.n_dispatched = 0
         self.n_reassigned = 0
         self.n_local_fallback = 0
@@ -834,6 +838,37 @@ class RemoteExecutor:
     def live_workers(self) -> int:
         with self._live_lock:
             return self._live
+
+    def stats(self) -> Dict:
+        """Fabric occupancy snapshot (the ``stats`` verb's payload).
+
+        Workers connected, parts in flight / queued, dispatch counters,
+        and one row per worker connection the fabric has ever seen —
+        parts handled, accumulated solve seconds (the worker's reported
+        ``wall_s``) and wire seconds (round trip minus compute), plus
+        whether the connection is still up. Queue size counts queued
+        *parts* only, never ``close()`` sentinels.
+        """
+        with self._live_lock:
+            per_worker = {
+                label: dict(row) for label, row in self._worker_stats.items()
+            }
+            live = self._live
+            in_flight = self._in_flight
+        with self._queue.mutex:
+            queued = sum(
+                1 for item in self._queue.queue if item is not None
+            )
+        return {
+            "workers_connected": live,
+            "parts_in_flight": in_flight,
+            "parts_queued": queued,
+            "n_dispatched": self.n_dispatched,
+            "n_reassigned": self.n_reassigned,
+            "n_local_fallback": self.n_local_fallback,
+            "uptime_s": time.monotonic() - self.started_at,
+            "workers": per_worker,
+        }
 
     def close(self) -> None:
         self.stopped.set()
@@ -870,6 +905,11 @@ class RemoteExecutor:
     def _worker_handler(self, conn: socket.socket) -> None:
         """One connected worker: pull a part, round-trip it, repeat.
 
+        The first line picks the role: ``{"op": "hello"}`` enrolls a
+        solver worker; ``{"op": "stats"}`` is the read-only occupancy
+        verb — it gets one JSON :meth:`stats` snapshot back and the
+        connection closes (``repro worker --connect host:port --stats``).
+
         On any wire failure the in-flight part goes *back on the queue
         before* the live count drops, so the dispatch loop can never
         observe zero workers while a recoverable part is invisible.
@@ -877,7 +917,15 @@ class RemoteExecutor:
         try:
             stream = conn.makefile("rwb")
             hello = stream.readline()
-            if not hello or json.loads(hello).get("op") != "hello":
+            first_op = json.loads(hello).get("op") if hello else None
+            if first_op == "stats":
+                stream.write(
+                    (json.dumps({"ok": True, **self.stats()}) + "\n").encode()
+                )
+                stream.flush()
+                conn.close()
+                return
+            if first_op != "hello":
                 conn.close()
                 return
         except (OSError, ValueError):
@@ -885,6 +933,14 @@ class RemoteExecutor:
             return
         with self._live_lock:
             self._live += 1
+            self._next_worker += 1
+            label = f"worker{self._next_worker}"
+            self._worker_stats[label] = {
+                "connected": True,
+                "parts": 0,
+                "solve_s": 0.0,
+                "wire_s": 0.0,
+            }
             self._live_lock.notify_all()
         item = None
         try:
@@ -899,30 +955,36 @@ class RemoteExecutor:
                     return
                 job, index, payload = item
                 dispatched_at = time.perf_counter()
+                with self._live_lock:
+                    self._in_flight += 1
                 try:
-                    stream.write(
-                        (
-                            json.dumps(
-                                {"op": "part", "job": index, "payload": payload}
-                            )
-                            + "\n"
-                        ).encode()
-                    )
-                    stream.flush()
-                    reply = stream.readline()
-                    if not reply:
-                        raise ConnectionError("worker closed mid-part")
-                    message = json.loads(reply)
-                except (OSError, ValueError):
-                    # Disconnect mid-part: reassign, retire this worker.
-                    # A part whose job already finished (failed batch,
-                    # purged queue) must not haunt the next batch's queue.
-                    if not job.done():
-                        self._queue.put(item)
-                        self.n_reassigned += 1
-                        self.perf.count("remote.reassigned")
-                    item = None
-                    return
+                    try:
+                        stream.write(
+                            (
+                                json.dumps(
+                                    {"op": "part", "job": index, "payload": payload}
+                                )
+                                + "\n"
+                            ).encode()
+                        )
+                        stream.flush()
+                        reply = stream.readline()
+                        if not reply:
+                            raise ConnectionError("worker closed mid-part")
+                        message = json.loads(reply)
+                    except (OSError, ValueError):
+                        # Disconnect mid-part: reassign, retire this worker.
+                        # A part whose job already finished (failed batch,
+                        # purged queue) must not haunt the next batch's queue.
+                        if not job.done():
+                            self._queue.put(item)
+                            self.n_reassigned += 1
+                            self.perf.count("remote.reassigned")
+                        item = None
+                        return
+                finally:
+                    with self._live_lock:
+                        self._in_flight -= 1
                 item = None
                 self.n_dispatched += 1
                 if message.get("op") == "error":
@@ -939,6 +1001,11 @@ class RemoteExecutor:
                 outcome.perf_stages["wire"] = max(
                     0.0, roundtrip - outcome.wall_s
                 )
+                with self._live_lock:
+                    row = self._worker_stats[label]
+                    row["parts"] += 1
+                    row["solve_s"] += float(outcome.wall_s)
+                    row["wire_s"] += float(outcome.perf_stages["wire"])
                 job.complete(index, outcome)
         finally:
             if item is not None and not item[0].done():
@@ -946,6 +1013,7 @@ class RemoteExecutor:
 
             with self._live_lock:
                 self._live -= 1
+                self._worker_stats[label]["connected"] = False
                 self._live_lock.notify_all()
             try:
                 conn.close()
@@ -1021,6 +1089,33 @@ class RemoteExecutor:
             self._take_queued(job)
             raise job.error
         return [job.outcomes[i] for i in range(len(parts))]
+
+
+def fabric_stats(spec: str, timeout_s: float = 5.0) -> Dict:
+    """One ``stats`` round trip against a :class:`RemoteExecutor`.
+
+    The read-only occupancy probe (``repro worker --connect host:port
+    --stats``): connect, send ``{"op": "stats"}`` as the first line, read
+    the JSON snapshot, hang up — the fabric never enrolls this connection
+    as a solver. Raises :class:`RemoteUnavailable` on a dead fabric.
+    """
+    host, port = parse_remote_spec(spec)
+    try:
+        with socket.create_connection((host, port), timeout=timeout_s) as sock:
+            sock.settimeout(timeout_s)
+            with sock.makefile("rwb") as stream:
+                stream.write(b'{"op": "stats"}\n')
+                stream.flush()
+                reply = stream.readline()
+        if not reply:
+            raise ConnectionError("fabric closed without answering stats")
+        payload = json.loads(reply)
+    except (OSError, ValueError) as exc:
+        raise RemoteUnavailable(
+            f"fabric at {host}:{port} unreachable: {exc}"
+        ) from exc
+    payload.pop("ok", None)
+    return payload
 
 
 # ------------------------------------------------------------------ worker

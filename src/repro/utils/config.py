@@ -48,10 +48,21 @@ class RunConfig:
     binary_search_max_probes: int = 12
     cold_start_noise: float = 0.05  # fraction of drive_max for random init
     seed: int = 20200301
+    # Opt-in cross-pulse batching: workers solve same-class groups through
+    # one batched kernel stream (see qoc/grape_batched.py). Off by default —
+    # the serial path is the bit-identity oracle. Deliberately NOT part of
+    # the engine fingerprint: both paths honour the same target/budget, so
+    # their stores interoperate (a serial-populated store warm-seeds a
+    # batched engine and vice versa).
+    batched_grape: bool = False
 
     def fast(self) -> "RunConfig":
         """Scaled-down budget for tests and quick benches."""
         return replace(self, max_iterations=120, binary_search_max_probes=8)
+
+    def batched(self) -> "RunConfig":
+        """Same budget, cross-pulse batched GRAPE driver enabled."""
+        return replace(self, batched_grape=True)
 
 
 @dataclass

@@ -511,6 +511,66 @@ def test_remote_executor_runs_locally_when_no_worker_connects(
     assert executor.n_dispatched == 0
 
 
+def test_fabric_stats_verb_reports_occupancy(tmp_path, config):
+    """Satellite: the ``stats`` op answers an occupancy snapshot without
+    enrolling as a solver — worker head-count, parts in flight/queued,
+    and per-worker part/solve-time tallies that add up to the dispatch
+    counters."""
+    from repro.service import fabric_stats
+
+    executor = RemoteExecutor(wait_workers_s=10.0)
+    spec = f"remote://127.0.0.1:{executor.port}"
+    try:
+        # an idle, empty fabric reports zeros...
+        idle = fabric_stats(spec)
+        assert idle["workers_connected"] == 0
+        assert idle["parts_in_flight"] == 0
+        assert idle["parts_queued"] == 0
+        assert idle["n_dispatched"] == 0
+        assert idle["workers"] == {}
+        # ...and the probe itself never enrolled as a worker
+        assert executor.live_workers() == 0
+
+        _start_worker(executor)
+        _start_worker(executor)
+        deadline = time.monotonic() + 10
+        while executor.live_workers() < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+
+        service = CompileService(
+            PulseStore(str(tmp_path / "s")), config, backend=executor,
+            n_workers=2,
+        )
+        batch = service.submit_batch([qft(5)])
+        assert batch.n_compiled > 0
+
+        stats = fabric_stats(spec)
+        assert stats["workers_connected"] == 2
+        assert stats["parts_in_flight"] == 0  # batch done, nothing live
+        assert stats["parts_queued"] == 0
+        assert stats["n_dispatched"] == executor.n_dispatched > 0
+        assert stats["n_local_fallback"] == 0
+        assert stats["uptime_s"] > 0
+        rows = stats["workers"]
+        assert set(rows) == {"worker1", "worker2"}
+        assert sum(row["parts"] for row in rows.values()) == stats[
+            "n_dispatched"
+        ]
+        for row in rows.values():
+            assert row["connected"] is True
+            if row["parts"]:
+                assert row["solve_s"] > 0
+                assert row["wire_s"] >= 0
+    finally:
+        executor.close()
+
+    # a dead fabric refuses the probe loudly rather than hanging
+    from repro.service.remote import RemoteUnavailable
+
+    with pytest.raises(RemoteUnavailable):
+        fabric_stats(spec, timeout_s=1.0)
+
+
 # ----------------------------------------------------------- routed shards
 def test_routed_sharded_store_batches_and_routes_disjointly(tmp_path, config):
     """Shard -> host is a routing decision: two store servers behind one
