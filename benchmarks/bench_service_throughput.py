@@ -513,6 +513,196 @@ def test_fleet_audit_probe_cost(benchmark, tmp_path, remote_mode):
     )
 
 
+def _store_snapshot(store):
+    """{key: (latency, iterations)} — the scheduling-invariant result."""
+    return {
+        key: (entry.latency, entry.iterations)
+        for key in store.keys()
+        for entry in [store.peek_key(key)]
+    }
+
+
+def _simulated_worker(spec, per_task_s, stop):
+    """A solver worker on simulated hardware: the real wire protocol and
+    the real solves, plus ``per_task_s`` of sleep per task — reported
+    honestly in the outcome's ``wall_s`` so the scheduler's capability
+    EWMA sees the machine the fleet actually has. A 10x ``per_task_s``
+    is the bench's reproducible straggler."""
+    import socket as socket_mod
+
+    from repro.service.remote import (
+        _pack,
+        _unpack,
+        parse_remote_spec,
+        run_part,
+    )
+
+    host, port = parse_remote_spec(spec)
+    deadline = time.monotonic() + 30
+    while True:
+        try:
+            sock = socket_mod.create_connection((host, port), timeout=5.0)
+            break
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.05)
+    sock.settimeout(None)
+    with sock, sock.makefile("rwb") as stream:
+        stream.write(b'{"op": "hello"}\n')
+        stream.flush()
+        for line in stream:
+            message = json.loads(line)
+            if message.get("op") == "close" or stop.is_set():
+                break
+            if message.get("op") != "part":
+                continue
+            engine, worker, tasks = _unpack(message["payload"])
+            started = time.perf_counter()
+            outcome = run_part(engine, worker, tasks)
+            time.sleep(per_task_s * len(tasks))
+            outcome.wall_s = time.perf_counter() - started
+            reply = {
+                "op": "outcome",
+                "job": message.get("job"),
+                "payload": _pack(outcome),
+            }
+            stream.write((json.dumps(reply) + "\n").encode())
+            stream.flush()
+
+
+def test_scheduler_worker_sweep(benchmark, tmp_path, scheduler_mode):
+    """--scheduler: the suite batch over the fabric at 1/2/4 workers x
+    parts-per-worker 1/2 (PERF.md table). Every cell must produce the
+    serial result — the scheduler moves parts, never bytes — with zero
+    local fallbacks; the wall column shows what reservation depth buys
+    once dispatch latency can hide behind compute."""
+    import threading
+
+    from repro.service import RemoteExecutor, worker_loop
+
+    programs = _suite_programs()
+    config = PipelineConfig(policy_name="map2b4l")
+    serial = CompileService(
+        PulseStore(str(tmp_path / "serial")), config, backend="serial",
+        n_workers=8,
+    )
+    reference = serial.submit_batch(programs)
+    expected = _store_snapshot(serial.store)
+
+    rows = []
+    for n_workers in (1, 2, 4):
+        for ppw in (1, 2):
+            executor = RemoteExecutor(
+                wait_workers_s=30.0, parts_per_worker=ppw
+            )
+            for _ in range(n_workers):
+                threading.Thread(
+                    target=worker_loop,
+                    args=(f"remote://127.0.0.1:{executor.port}",),
+                    daemon=True,
+                ).start()
+            service = CompileService(
+                PulseStore(str(tmp_path / f"w{n_workers}p{ppw}")),
+                config,
+                backend=executor,
+                n_workers=8,
+            )
+            runner = (
+                (lambda: run_once(benchmark, service.submit_batch, programs))
+                if (n_workers, ppw) == (4, 2)
+                else (lambda: service.submit_batch(programs))
+            )
+            try:
+                t0 = time.perf_counter()
+                batch = runner()
+                wall = time.perf_counter() - t0
+                stats = executor.stats()
+            finally:
+                executor.close()
+            assert batch.n_compiled == reference.n_compiled
+            assert batch.total_iterations == reference.total_iterations
+            assert _store_snapshot(service.store) == expected
+            assert executor.n_local_fallback == 0
+            assert stats["parts_queued"] == 0
+            rows.append((n_workers, ppw, wall, stats["n_dispatched"]))
+
+    print(f"\n{'workers':>8} | {'parts/worker':>12} | {'wall s':>8} | parts")
+    print("-" * 46)
+    for n_workers, ppw, wall, parts in rows:
+        print(f"{n_workers:8d} | {ppw:12d} | {wall:8.2f} | {parts}")
+
+
+def test_scheduler_straggler_steal_vs_static(tmp_path, scheduler_mode):
+    """--scheduler ISSUE acceptance: 3 workers, one 10x slower. The steal
+    policy must beat static LPT by >= 1.3x on the straggler scenario, with
+    steals observed and results identical to the serial run under both
+    policies."""
+    import threading
+
+    from repro.service import RemoteExecutor
+
+    programs = _suite_programs()
+    config = PipelineConfig(policy_name="map2b4l")
+    # n_workers=16 cuts fine-grained parts: the scenario's contrast is the
+    # schedule, and coarse parts would hide it behind one giant in-flight
+    # part no policy can preempt.
+    serial = CompileService(
+        PulseStore(str(tmp_path / "serial")), config, backend="serial",
+        n_workers=16,
+    )
+    reference = serial.submit_batch(programs)
+    expected = _store_snapshot(serial.store)
+
+    PER_TASK_S = 0.03  # simulated healthy-machine cost per task
+    walls = {}
+    steals = {}
+    for policy in ("static", "steal"):
+        executor = RemoteExecutor(
+            wait_workers_s=30.0, parts_per_worker=2, policy=policy
+        )
+        stop = threading.Event()
+        spec = f"remote://127.0.0.1:{executor.port}"
+        for per_task in (PER_TASK_S, PER_TASK_S, 10 * PER_TASK_S):
+            threading.Thread(
+                target=_simulated_worker,
+                args=(spec, per_task, stop),
+                daemon=True,
+            ).start()
+        deadline = time.monotonic() + 30
+        while executor.live_workers() < 3:
+            assert time.monotonic() < deadline, "fleet never assembled"
+            time.sleep(0.05)
+        service = CompileService(
+            PulseStore(str(tmp_path / policy)), config, backend=executor,
+            n_workers=16,
+        )
+        try:
+            t0 = time.perf_counter()
+            batch = service.submit_batch(programs)
+            walls[policy] = time.perf_counter() - t0
+            steals[policy] = executor.n_steals
+        finally:
+            stop.set()
+            executor.close()
+        assert batch.n_compiled == reference.n_compiled
+        assert batch.total_iterations == reference.total_iterations
+        assert _store_snapshot(service.store) == expected
+        assert executor.n_local_fallback == 0
+
+    speedup = walls["static"] / walls["steal"]
+    print(
+        f"\nstraggler (3 workers, one 10x slower): static "
+        f"{walls['static']:.2f}s vs steal {walls['steal']:.2f}s "
+        f"({speedup:.2f}x, {steals['steal']} steal(s))"
+    )
+    assert steals["static"] == 0
+    assert steals["steal"] > 0
+    assert speedup >= 1.3, (
+        f"steal policy only {speedup:.2f}x over static LPT"
+    )
+
+
 def test_service_worker_scaling_qft16(benchmark, batched_grape_mode):
     """Acceptance: qft_16 uncovered groups, GRAPE, process backend, 1->8
     workers. Bit-identical pulses at every worker count; >= 2x speedup at

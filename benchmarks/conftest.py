@@ -27,6 +27,14 @@ def pytest_addoption(parser):
              "fabric over loopback TCP; bench_service_throughput.py)",
     )
     parser.addoption(
+        "--scheduler",
+        action="store_true",
+        default=False,
+        help="run the cluster-scheduler benches (worker x parts-per-worker "
+             "sweep and the straggler steal-vs-static scenario; "
+             "bench_service_throughput.py)",
+    )
+    parser.addoption(
         "--batched-grape",
         action="store_true",
         default=False,
@@ -45,6 +53,13 @@ def shards(request):
 def remote_mode(request):
     if not request.config.getoption("--remote"):
         pytest.skip("remote-fabric bench runs with --remote")
+    return True
+
+
+@pytest.fixture
+def scheduler_mode(request):
+    if not request.config.getoption("--scheduler"):
+        pytest.skip("cluster-scheduler benches run with --scheduler")
     return True
 
 

@@ -15,6 +15,9 @@ Usage::
     python -m repro store reshard --store /tmp/pulses --shards 4
     python -m repro store serve --root /tmp/pulses --port 7777  # store server
     python -m repro serve --store remote://db:7777 --workers remote --async
+    python -m repro serve --store /tmp/pulses --workers remote --async \\
+        --parts-per-worker 2 --fabric-policy steal --max-queue 64
+    python -m repro worker --connect solver:7778 --stats  # fabric occupancy
     python -m repro serve --store "remote://db1:7777|db2:7777"  # 2 replicas
     python -m repro batch qft_16 --store "remote://db1:7777|db2:7777?w=majority"
     python -m repro store serve --root /data/ra --port 7401 \\
@@ -23,7 +26,9 @@ Usage::
     python -m repro store repair --store "remote://db1:7777|db2:7777"
     python -m repro store audit --store "remote://db1:7777|db2:7777" --json
     python -m repro store audit --store /tmp/pulses --fail-on warn
+    python -m repro store audit --store /tmp/pulses --fabric solver:7778
     python -m repro dashboard --store "remote://db1:7777|db2:7777"  # live page
+    python -m repro dashboard --store /tmp/x --fabric solver:7778  # + workers
     python -m repro worker --connect solver:7778           # remote solver
 """
 

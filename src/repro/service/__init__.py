@@ -172,6 +172,53 @@ wholesale and wants an immediate synchronous catch-up instead of waiting
 out the interval. Routine divergence — crashes, restarts, dropped
 writes — heals itself.
 
+Scheduling and backpressure (runbook)
+-------------------------------------
+With ``--workers remote`` the fabric's dispatch decisions live in
+:class:`~repro.service.scheduler.FabricScheduler` (``service/scheduler.py``)
+rather than the accept loop. The flag map::
+
+    repro serve --async --store /data/s --workers remote \\
+        --parts-per-worker 2 \\      # reservation depth per worker
+        --fabric-policy steal \\     # or 'static' (LPT baseline, no steals)
+        --max-queue 64               # admission bound on the front door
+
+*Placement*: each worker owns a bounded reservation queue
+(``--parts-per-worker``: one part on the wire plus the rest queued as its
+stealable backlog). Parts go to the worker with the earliest estimated
+finish — backlog weight over measured solve throughput, an EWMA fed from
+the same per-part timings the batch report files under
+``execute.worker<k>.wall``; cold workers start at the fleet median. A
+worker that drains its queue pulls from the shared overflow pool, then
+steals the *tail* of the most-backlogged straggler's queue. Stealing and
+disconnects move parts but never change bytes: warm seeds travel inside
+each task, so serial execution stays the bit-identity oracle
+(``--fabric-policy static`` restores plain LPT for A/B benches).
+
+*Backpressure*: ``--max-queue`` bounds the async front door's planning
+queue. A request over the bound is refused with the typed shed response
+``{"ok": false, "error": "overloaded", "overloaded": true,
+"retry_after_s": <drain estimate>, "queued": <depth>}`` — clients back
+off for the hint and resubmit; admitted requests always complete.
+Window assembly round-robins one request per client per pass, so a
+flooder sheds before it starves anyone else.
+
+*Reading the counters*: the fabric ``stats`` verb (``repro worker
+--connect host:port --stats``) reports ``n_dispatched`` / ``n_steals`` /
+``n_reassigned`` / ``n_shed``, ``parts_queued``/``parts_in_flight``, and
+per-worker rows (``queued``, ``in_flight``, ``rate``, ``steals_won``,
+``steals_lost``). The same numbers surface as ``schedule.*`` perf
+counters (``schedule.dispatched/steals/reassigned/shed``, plus the
+``schedule.occupancy`` samples and the ``schedule.assign`` stage), on
+``repro dashboard --fabric host:port`` (per-worker table and
+``repro_fabric_*`` metrics), and in ``repro store audit --fabric
+host:port`` — sheds beyond ~5% of admissions raise
+``elevated_load_shedding`` (warn): add workers, raise ``--max-queue``,
+or accept the sheds. Steady ``n_steals`` growth is *healthy* (the fleet
+is heterogeneous and self-balancing); climbing ``n_reassigned`` means
+workers are disconnecting mid-part; ``n_local_fallback`` > 0 means the
+fabric ran out of workers entirely and the dispatcher solved in-process.
+
 Front door
 ----------
 ``repro serve`` is a JSON-lines request loop on stdin/stdout; with
@@ -216,6 +263,13 @@ from repro.service.replication import (
     ReplicatedStore,
     ReplicatedStoreStats,
 )
+from repro.service.scheduler import (
+    CLOSE_FABRIC,
+    SCHEDULER_POLICIES,
+    FabricScheduler,
+    ScheduledPart,
+    WorkerSlot,
+)
 from repro.service.service import BatchReport, CompileService, RequestReport
 from repro.service.sharding import ShardedStore, open_store, reshard
 from repro.service.store import (
@@ -231,9 +285,11 @@ __all__ = [
     "AsyncCompileServer",
     "BatchPlan",
     "BatchReport",
+    "CLOSE_FABRIC",
     "CompilePlanner",
     "CompileService",
     "DashboardServer",
+    "FabricScheduler",
     "Finding",
     "FleetAuditor",
     "FleetPoller",
@@ -248,6 +304,8 @@ __all__ = [
     "ReplicatedStoreStats",
     "RequestReport",
     "RetryPolicy",
+    "SCHEDULER_POLICIES",
+    "ScheduledPart",
     "SerialBackend",
     "ShardedStore",
     "StoreBackend",
@@ -257,6 +315,7 @@ __all__ = [
     "ThreadBackend",
     "WorkerPlan",
     "WorkerPoolExecutor",
+    "WorkerSlot",
     "exit_code_for",
     "fabric_stats",
     "make_backend",

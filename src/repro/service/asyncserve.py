@@ -24,6 +24,20 @@ asyncio:
   first. Responses are correlated by request id (auto-assigned when the
   client sent none) and stamped with the batch sequence number; see
   :mod:`repro.service.protocol`.
+* **Admission control** — the planning queue is bounded (``--max-queue``):
+  a request arriving while ``max_queue`` compiles are already waiting is
+  refused with a typed ``overloaded`` response carrying a drain-time
+  ``retry_after_s`` hint (batch-wall EWMA × batches ahead, scaled up when
+  the remote fabric reports a deep part queue), instead of buffering
+  without bound until the planner OOMs. Sheds are counted here
+  (``n_shed``, ``schedule.shed``) and reported to the solve backend's
+  ``note_shed`` when it has one, so the fabric ``stats`` verb and the
+  auditor's ``elevated_load_shedding`` check see admission pressure.
+* **Per-client fairness** — pending requests queue per client and window
+  assembly round-robins one request per client per pass, so one client
+  flooding the socket cannot starve another's single request out of
+  every batch (and shed pressure lands on the flooder, whose backlog is
+  what fills the bounded queue).
 
 Queue time is recorded per request under ``serve.queue_wait`` (the window
 plus any backpressure from ``max_inflight``), batch sizes under
@@ -31,19 +45,22 @@ plus any backpressure from ``max_inflight``), batch sizes under
 via the server's :class:`~repro.perf.instrument.PerfRecorder`.
 
 Deadlock note: the executor pool has exactly ``max_inflight`` threads and
-batch dispatch is gated by a semaphore of the same size, so every batch
-that holds coalescer claims is guaranteed a running thread — a waiter can
-always be outwaited by its owner, never by a queue slot.
+batch *assembly* is gated by a semaphore of the same size (a batch is
+only taken out of the admission queue when a slot is free), so every
+batch that holds coalescer claims is guaranteed a running thread — a
+waiter can always be outwaited by its owner, never by a queue slot.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
 import sys
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import IO, List, Optional
+from typing import IO, Deque, Dict, List, Optional
 
 from repro.circuits.circuit import Circuit
 from repro.perf.instrument import PerfRecorder, recorder_or_null
@@ -53,6 +70,7 @@ from repro.service.protocol import (
     assign_request_id,
     encode,
     error_response,
+    overloaded_response,
     parse_request,
     request_circuit,
     response_for,
@@ -118,21 +136,32 @@ class AsyncCompileServer:
         window_s: float = 0.025,
         max_batch: int = 16,
         max_inflight: int = 2,
+        max_queue: Optional[int] = None,
         perf: Optional[PerfRecorder] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None for unbounded)")
         self.service = service
         self.window_s = max(0.0, float(window_s))
         self.max_batch = int(max_batch)
         self.max_inflight = int(max_inflight)
+        self.max_queue = None if max_queue is None else int(max_queue)
         self.perf = recorder_or_null(perf)
         self.n_batches = 0
         self.n_requests = 0
+        self.n_shed = 0  # admission refusals (typed overloaded responses)
         self.stopping = asyncio.Event()
-        self._queue: asyncio.Queue = asyncio.Queue()
+        # Pending compiles queue *per client*; window assembly round-robins
+        # across clients so a flooder cannot starve a light client.
+        self._pending_by_client: Dict[_Client, Deque[_Pending]] = {}
+        self._client_rr: Deque[_Client] = deque()
+        self._pending_count = 0
+        self._have_work = asyncio.Event()
+        self._batch_wall_ewma: Optional[float] = None  # retry-after basis
         self._sem = asyncio.Semaphore(self.max_inflight)
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_inflight, thread_name_prefix="repro-batch"
@@ -170,6 +199,26 @@ class AsyncCompileServer:
             # numbering is dense and matches the auto-assigned count.
             self._next_id += 1
             assign_request_id(request, self._next_id)
+        if (
+            self.max_queue is not None
+            and self._pending_count >= self.max_queue
+        ):
+            # Admission control: refuse *before* circuit construction —
+            # a shed must stay cheap or shedding itself becomes the
+            # bottleneck under exactly the flood it exists for.
+            self.n_shed += 1
+            self.perf.count("schedule.shed")
+            note_shed = getattr(self.service.backend, "note_shed", None)
+            if callable(note_shed):
+                note_shed()  # fabric stats / audit see admission pressure
+            await client.send(
+                overloaded_response(
+                    request.id,
+                    self._retry_after(),
+                    queued=self._pending_count,
+                )
+            )
+            return
         try:
             circuit = request_circuit(request)
         except Exception as exc:  # bad program name / malformed QASM
@@ -185,7 +234,40 @@ class AsyncCompileServer:
             client=client,
             enqueued_at=self.perf.now(),
         )
-        await self._queue.put(pending)
+        lane = self._pending_by_client.get(client)
+        if lane is None:
+            lane = self._pending_by_client[client] = deque()
+        if client not in self._client_rr:
+            self._client_rr.append(client)
+        lane.append(pending)
+        self._pending_count += 1
+        self._have_work.set()
+
+    def _retry_after(self) -> float:
+        """Drain-time estimate for a shed client: batches ahead of it times
+        the batch-wall EWMA, divided across concurrent batch slots — then
+        scaled up when the remote fabric reports queued parts beyond its
+        reservation capacity (solves will stack behind them)."""
+        wall = self._batch_wall_ewma
+        if wall is None:
+            wall = max(self.window_s, 0.05)  # nothing measured yet
+        batches_ahead = max(
+            1, math.ceil(self._pending_count / self.max_batch)
+        )
+        hint = batches_ahead * wall / self.max_inflight
+        stats = getattr(self.service.backend, "stats", None)
+        if callable(stats):
+            try:
+                fabric = stats()
+                capacity = max(
+                    1,
+                    fabric.get("workers_connected", 0)
+                    * fabric.get("parts_per_worker", 1),
+                )
+                hint *= 1.0 + fabric.get("parts_queued", 0) / capacity
+            except Exception:
+                pass  # a sick fabric must not break shedding
+        return hint
 
     async def _handle_command(self, request: CompileRequest, client: _Client) -> None:
         if request.cmd in ("quit", "shutdown"):
@@ -204,7 +286,9 @@ class AsyncCompileServer:
                     "batches": self.service.n_batches,
                     "served_batches": self.n_batches,
                     "served_requests": self.n_requests,
-                    "queued": self._queue.qsize(),
+                    "queued": self._pending_count,
+                    "shed": self.n_shed,
+                    "max_queue": self.max_queue,
                     "coalesced": self.service.coalescer.coalesced,
                 }
             )
@@ -214,30 +298,59 @@ class AsyncCompileServer:
         )
 
     # ------------------------------------------------------------- batching
+    def _assemble(self, limit: int) -> List[_Pending]:
+        """Take up to ``limit`` pending requests, one per client per pass
+        (round-robin), so every client with work is represented in the
+        window before any client gets a second slot."""
+        batch: List[_Pending] = []
+        while len(batch) < limit and self._client_rr:
+            client = self._client_rr.popleft()
+            lane = self._pending_by_client.get(client)
+            if not lane:
+                self._pending_by_client.pop(client, None)
+                continue
+            batch.append(lane.popleft())
+            self._pending_count -= 1
+            if lane:
+                self._client_rr.append(client)
+            else:
+                self._pending_by_client.pop(client, None)
+        return batch
+
     async def _batch_loop(self) -> None:
-        """Collect → dispatch forever; dispatch never blocks collection."""
+        """Collect → dispatch forever; assembly is gated on a free batch
+        slot. Holding the slot *before* assembling matters for admission
+        control: while ``max_inflight`` batches run, arrivals stay in the
+        per-client lanes where ``_pending_count`` (and so ``max_queue``)
+        can see them — assembled-but-parked batches would hide the
+        backlog from the shed check."""
         loop = asyncio.get_running_loop()
         while True:
-            first = await self._queue.get()
-            batch: List[_Pending] = [first]
+            await self._have_work.wait()
+            await self._sem.acquire()
             deadline = loop.time() + self.window_s
-            while len(batch) < self.max_batch:
+            while self._pending_count < self.max_batch:
                 remaining = deadline - loop.time()
                 if remaining <= 0:
                     break
-                try:
-                    batch.append(
-                        await asyncio.wait_for(self._queue.get(), remaining)
-                    )
-                except asyncio.TimeoutError:
-                    break
+                # Bounded naps instead of one long sleep: a burst that
+                # fills the window early dispatches without waiting it out.
+                await asyncio.sleep(min(0.005, max(remaining, 0.0)))
+            batch = self._assemble(self.max_batch)
+            if self._pending_count == 0:
+                self._have_work.clear()
+            if not batch:
+                self._sem.release()
+                continue
             task = asyncio.create_task(self._run_batch(batch))
             self._batch_tasks.add(task)
             task.add_done_callback(self._batch_tasks.discard)
 
     async def _run_batch(self, batch: List[_Pending]) -> None:
+        """Run one assembled batch; the caller hands over its batch slot
+        (the semaphore `_batch_loop` acquired) and it is released here."""
         loop = asyncio.get_running_loop()
-        async with self._sem:
+        try:
             for pending in batch:
                 self.perf.record_since("serve.queue_wait", pending.enqueued_at)
             self.perf.count("serve.batch_requests", len(batch))
@@ -255,6 +368,15 @@ class AsyncCompileServer:
                 return
             else:
                 self.n_batches += 1
+                # Batch-wall EWMA feeds the shed response's retry-after
+                # hint; alpha 0.3 smooths over per-batch size variance.
+                wall = float(report.wall_time)
+                if self._batch_wall_ewma is None:
+                    self._batch_wall_ewma = wall
+                else:
+                    self._batch_wall_ewma = (
+                        0.3 * wall + 0.7 * self._batch_wall_ewma
+                    )
                 for pending, request_report in zip(batch, report.requests):
                     payload = response_for(
                         pending.request, request_report, report
@@ -263,6 +385,8 @@ class AsyncCompileServer:
                     await pending.client.send(payload)
             finally:
                 self._outstanding -= len(batch)
+        finally:
+            self._sem.release()
 
     # ------------------------------------------------------------ lifecycle
     def _ensure_batcher(self) -> None:
@@ -382,6 +506,7 @@ def run_server(
     window_s: float = 0.025,
     max_batch: int = 16,
     max_inflight: int = 2,
+    max_queue: Optional[int] = None,
     perf: Optional[PerfRecorder] = None,
 ) -> int:
     """Blocking entry point for ``repro serve --async``.
@@ -397,6 +522,7 @@ def run_server(
             window_s=window_s,
             max_batch=max_batch,
             max_inflight=max_inflight,
+            max_queue=max_queue,
             perf=perf,
         )
         if port is None:

@@ -58,6 +58,10 @@ Finding catalog (code -> severity):
   ``elevated_retry_exhausted`` (warn) — a served store's own counters
   show writes breaking quorum / absorbed degradations / burned retry
   budgets since server start.
+* ``elevated_load_shedding`` (warn) — with ``--fabric host:port``: the
+  worker fabric's counters show the async front door shedding more than
+  ``thresholds.shed_ratio`` of admissions — the fleet is undersized for
+  its traffic (add workers, raise ``--max-queue``, or accept the sheds).
 
 Exit codes (:func:`exit_code_for`): 0 when no finding reaches the
 ``--fail-on`` gate, else 1/4/5/6 for a worst finding of
@@ -116,6 +120,8 @@ CHECKS: Dict[str, Tuple[str, str]] = {
         "warn", "operations have been absorbed as degradations"),
     "elevated_retry_exhausted": (
         "warn", "RPCs have been burning their whole retry budget"),
+    "elevated_load_shedding": (
+        "warn", "the front door is shedding a large share of admissions"),
 }
 
 
@@ -188,7 +194,9 @@ class AuditThresholds:
     never converged. ``eviction_ratio``: tolerated evictions-to-puts
     ratio since server start. ``stall_intervals``: how many anti-entropy
     intervals may pass with zero completed rounds before the loop counts
-    as stalled.
+    as stalled. ``shed_ratio``: tolerated fraction of admissions the
+    front door refused (sheds over sheds-plus-dispatches) before the
+    fabric probe flags ``elevated_load_shedding``.
     """
 
     shard_imbalance: float = 2.0
@@ -196,6 +204,7 @@ class AuditThresholds:
     non_converged_ratio: float = 0.5
     eviction_ratio: float = 0.25
     stall_intervals: float = 3.0
+    shed_ratio: float = 0.05
 
 
 @dataclass
@@ -225,10 +234,12 @@ class FleetAuditor:
         spec: str,
         thresholds: Optional[AuditThresholds] = None,
         timeout_s: float = 5.0,
+        fabric: Optional[str] = None,
     ) -> None:
         self.spec = str(spec)
         self.thresholds = thresholds or AuditThresholds()
         self.timeout_s = float(timeout_s)
+        self.fabric = fabric
 
     # ------------------------------------------------------------------ run
     def run(self) -> List[Finding]:
@@ -239,6 +250,8 @@ class FleetAuditor:
         else:
             shards = self._audit_local(findings)
         self._check_fleet(shards, findings)
+        if self.fabric:
+            self._audit_fabric(self.fabric, findings)
         findings.sort(
             key=lambda f: (-severity_rank(f.severity), f.locus, f.code)
         )
@@ -564,6 +577,44 @@ class FleetAuditor:
                 details={
                     "skipped_unreachable": status.get("skipped_unreachable"),
                     "peers": status.get("peers"),
+                },
+            ))
+
+    # ----------------------------------------------------- fabric probe
+    def _audit_fabric(self, spec: str, findings: List[Finding]) -> None:
+        """One ``stats`` round trip against a worker fabric: is the front
+        door shedding a meaningful share of what it was asked to admit?"""
+        from repro.service.remote import RemoteUnavailable, fabric_stats
+
+        try:
+            stats = fabric_stats(spec, timeout_s=self.timeout_s)
+        except RemoteUnavailable as exc:
+            findings.append(Finding(
+                code="replica_unreachable",
+                locus="fabric",
+                message=f"worker fabric {spec} did not answer the stats "
+                        f"probe: {exc}",
+                details={"address": spec},
+            ))
+            return
+        n_shed = float(stats.get("n_shed", 0) or 0)
+        n_dispatched = float(stats.get("n_dispatched", 0) or 0)
+        ratio = n_shed / (n_shed + max(1.0, n_dispatched))
+        if ratio > self.thresholds.shed_ratio:
+            findings.append(Finding(
+                code="elevated_load_shedding",
+                locus="fabric",
+                message=f"the front door shed {n_shed:.0f} request(s) "
+                        f"against {n_dispatched:.0f} dispatched part(s) "
+                        f"({ratio:.0%} > {self.thresholds.shed_ratio:.0%}); "
+                        f"the fleet is undersized for its traffic — add "
+                        f"workers, raise --max-queue, or accept the sheds",
+                details={
+                    "n_shed": n_shed,
+                    "n_dispatched": n_dispatched,
+                    "ratio": ratio,
+                    "workers_connected": stats.get("workers_connected"),
+                    "parts_queued": stats.get("parts_queued"),
                 },
             ))
 

@@ -17,7 +17,8 @@ Endpoints:
   alone; light and dark themes follow ``prefers-color-scheme``.
 * ``/stats.json`` — the poller's latest snapshot, verbatim.
 * ``/metrics`` — Prometheus text exposition (``repro_store_*``,
-  ``repro_antientropy_*``) for scraping the same numbers the page shows.
+  ``repro_antientropy_*``, and with ``--fabric`` the ``repro_fabric_*``
+  scheduler gauges) for scraping the same numbers the page shows.
 * ``/findings`` — a live :class:`~repro.service.audit.FleetAuditor` pass
   over the ``--store`` spec, as the audit JSON report.
 * ``/healthz`` — liveness of the dashboard process itself.
@@ -118,9 +119,13 @@ class FleetPoller:
         targets: Sequence[Target],
         interval_s: float = 2.0,
         timeout_s: float = 2.0,
+        fabric: Optional[str] = None,
     ) -> None:
         self.targets = list(targets)
         self.interval_s = float(interval_s)
+        self.fabric = fabric  # worker fabric host:port; polled via stats verb
+        self.fabric_timeout_s = float(timeout_s)
+        self._fabric_latest: Optional[Dict] = None
         self._clients = {
             t.label: RemoteStore(
                 t.spec,
@@ -165,11 +170,24 @@ class FleetPoller:
     def poll_once(self) -> Dict:
         """One synchronous pass over every target; returns the snapshot."""
         rows = [self._poll_target(t) for t in self.targets]
+        fabric_row = self._poll_fabric() if self.fabric else None
         with self._lock:
             self._polls += 1
             for row in rows:
                 self._latest[row["target"]] = row
+            if fabric_row is not None:
+                self._fabric_latest = fabric_row
         return self.snapshot()
+
+    def _poll_fabric(self) -> Dict:
+        """One ``stats`` verb round trip against the worker fabric."""
+        from repro.service.remote import RemoteUnavailable, fabric_stats
+
+        try:
+            stats = fabric_stats(self.fabric, timeout_s=self.fabric_timeout_s)
+        except (RemoteUnavailable, ValueError):
+            return {"address": self.fabric, "up": False}
+        return {"address": self.fabric, "up": True, **stats}
 
     def _poll_target(self, target: Target) -> Dict:
         client = self._clients[target.label]
@@ -227,6 +245,12 @@ class FleetPoller:
                 for t in self.targets
             ]
             polls = self._polls
+            fabric_row = (
+                dict(self._fabric_latest)
+                if self._fabric_latest is not None
+                else ({"address": self.fabric, "up": False}
+                      if self.fabric else None)
+            )
         up = [r for r in rows if r.get("up")]
         hits = sum(float(r["stats"].get("hits", 0) or 0) for r in up)
         misses = sum(float(r["stats"].get("misses", 0) or 0) for r in up)
@@ -238,6 +262,7 @@ class FleetPoller:
             "polls": polls,
             "interval_s": self.interval_s,
             "targets": rows,
+            "fabric": fabric_row,
             "fleet": {
                 "targets": len(rows),
                 "up": len(up),
@@ -348,6 +373,62 @@ def render_metrics(snapshot: Dict) -> str:
                 for r, status in ae
             ],
         )
+    fabric = snapshot.get("fabric")
+    if fabric is not None:
+        lines.append(
+            "# HELP repro_fabric_up Whether the worker fabric answered "
+            "the last stats poll."
+        )
+        lines.append("# TYPE repro_fabric_up gauge")
+        lines.append(f"repro_fabric_up {1 if fabric.get('up') else 0}")
+    if fabric is not None and fabric.get("up"):
+        for name, kind in (
+            ("workers_connected", "gauge"),
+            ("parts_in_flight", "gauge"),
+            ("parts_queued", "gauge"),
+            ("n_dispatched", "counter"),
+            ("n_steals", "counter"),
+            ("n_reassigned", "counter"),
+            ("n_shed", "counter"),
+            ("n_local_fallback", "counter"),
+        ):
+            value = fabric.get(name)
+            if value is None:
+                continue
+            metric = f"repro_fabric_{name}"
+            if kind == "counter":
+                metric += "_total"
+            lines.append(
+                f"# HELP {metric} Fabric scheduler {name} "
+                f"{'since fabric start' if kind == 'counter' else ''}".rstrip()
+                + "."
+            )
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric} {float(value):g}")
+        workers = fabric.get("workers") or {}
+        for name, kind in (
+            ("queued", "gauge"),
+            ("in_flight", "gauge"),
+            ("parts", "counter"),
+            ("steals_won", "counter"),
+            ("steals_lost", "counter"),
+        ):
+            rows_ = [
+                (label, float(row.get(name, 0) or 0))
+                for label, row in sorted(workers.items())
+                if row.get("connected")
+            ]
+            if not rows_:
+                continue
+            metric = f"repro_fabric_worker_{name}"
+            if kind == "counter":
+                metric += "_total"
+            lines.append(f"# HELP {metric} Per-worker scheduler {name}.")
+            lines.append(f"# TYPE {metric} {kind}")
+            for label, value in rows_:
+                lines.append(
+                    f'{metric}{{worker="{_escape_label(label)}"}} {value:g}'
+                )
     lines.append("# HELP repro_dashboard_polls_total Poll passes completed.")
     lines.append("# TYPE repro_dashboard_polls_total counter")
     lines.append(
@@ -423,6 +504,14 @@ td.n, th.n { text-align: right; font-variant-numeric: tabular-nums; }
   <th class="n">evictions</th><th class="n">failovers</th>
   <th class="n">quorum fails</th><th>anti-entropy</th>
 </tr></thead><tbody></tbody></table>
+<h2 id="fabric-h" style="display:none">Worker fabric
+  <span class="muted" id="fabric-sub"></span></h2>
+<table id="fabric" style="display:none"><thead><tr>
+  <th>worker</th><th>status</th><th class="n">parts</th>
+  <th class="n">queued</th><th class="n">in flight</th>
+  <th class="n">rate</th><th class="n">steals won</th>
+  <th class="n">steals lost</th><th class="n">solve s</th>
+</tr></thead><tbody></tbody></table>
 <h2>Findings <span class="muted">(live audit)</span></h2>
 <table id="findings"><thead><tr>
   <th>severity</th><th>code</th><th>locus</th><th>message</th>
@@ -497,6 +586,37 @@ function render(snap) {
       "</td><td>" + aeCell(t.antientropy) + "</td></tr>");
   }
   document.querySelector("#targets tbody").innerHTML = body.join("");
+  renderFabric(snap.fabric);
+}
+function renderFabric(fab) {
+  const head = document.getElementById("fabric-h");
+  const table = document.getElementById("fabric");
+  if (!fab) { head.style.display = "none"; table.style.display = "none";
+              return; }
+  head.style.display = ""; table.style.display = "";
+  document.getElementById("fabric-sub").textContent = fab.up
+    ? "(" + fab.address + " \\u00b7 policy " + fab.policy + " \\u00b7 " +
+      fmt(fab.parts_queued) + " queued \\u00b7 " + fmt(fab.n_steals) +
+      " steals \\u00b7 " + fmt(fab.n_shed) + " shed)"
+    : "(" + fab.address + " \\u2013 unreachable)";
+  const body = [];
+  for (const [label, w] of Object.entries(fab.workers || {})) {
+    body.push("<tr><td>" + esc(label) + "</td><td>" +
+      (w.connected ? '<span class="status good">\\u2713 up</span>'
+                   : '<span class="status muted">\\u2013 gone</span>') +
+      '</td><td class="n">' + fmt(w.parts) +
+      '</td><td class="n">' + fmt(w.queued) +
+      '</td><td class="n">' + fmt(w.in_flight) +
+      '</td><td class="n">' + (w.rate == null ? "\\u2013"
+                                              : fmt(w.rate, 1)) +
+      '</td><td class="n">' + fmt(w.steals_won) +
+      '</td><td class="n">' + fmt(w.steals_lost) +
+      '</td><td class="n">' + fmt(w.solve_s, 2) + "</td></tr>");
+  }
+  document.querySelector("#fabric tbody").innerHTML = body.length
+    ? body.join("")
+    : '<tr><td colspan="9"><span class="muted">no workers enrolled' +
+      "</span></td></tr>";
 }
 function renderFindings(report) {
   const rows = report.findings.map((f) => {
@@ -630,10 +750,19 @@ class DashboardServer:
         """One live audit pass (the ``/findings`` document)."""
         from repro.service.audit import FleetAuditor
 
-        if not self.audit_spec:
+        fabric = self.poller.fabric
+        if not self.audit_spec and not fabric:
             return {"spec": None, "findings": [], "worst": None,
                     "counts": {}}
-        auditor = FleetAuditor(self.audit_spec, timeout_s=2.0)
+        auditor = FleetAuditor(
+            self.audit_spec or "", timeout_s=2.0, fabric=fabric
+        )
+        if not self.audit_spec:
+            # Fabric-only dashboard: skip the (empty) store walk, keep
+            # the admission-pressure probe.
+            findings = []
+            auditor._audit_fabric(fabric, findings)
+            return auditor.to_report(findings)
         return auditor.to_report(auditor.run())
 
     def stop(self) -> None:
@@ -653,21 +782,27 @@ def serve_dashboard(
     host: str = "127.0.0.1",
     port: int = 0,
     interval_s: float = 2.0,
+    fabric: Optional[str] = None,
 ) -> DashboardServer:
     """Build and start a dashboard for one fleet (the CLI entry point).
 
-    Raises ``ValueError`` when the spec and ``--fleet`` expand to zero
-    TCP targets (a local directory has no server to poll — run
-    ``repro store audit`` against it instead).
+    ``fabric`` is a worker fabric's ``host:port`` (as announced by a
+    ``--workers remote`` service): its ``stats`` verb is polled alongside
+    the stores and rendered as a per-worker occupancy/steals table, as
+    ``repro_fabric_*`` metrics, and as the ``elevated_load_shedding``
+    probe in ``/findings``. Raises ``ValueError`` when the spec,
+    ``--fleet``, and ``--fabric`` together name nothing to poll (a local
+    directory has no server — run ``repro store audit`` against it
+    instead).
     """
     targets = fleet_targets(store_spec, fleet)
-    if not targets:
+    if not targets and not fabric:
         raise ValueError(
             f"nothing to poll: {store_spec!r} names no remote:// servers "
-            f"and --fleet is empty (for a local directory, use "
+            f"and --fleet/--fabric are empty (for a local directory, use "
             f"`repro store audit`/`repro store stats`)"
         )
-    poller = FleetPoller(targets, interval_s=interval_s)
+    poller = FleetPoller(targets, interval_s=interval_s, fabric=fabric)
     audit_spec = (
         store_spec if store_spec and is_remote_spec(store_spec) else None
     )

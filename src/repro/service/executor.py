@@ -234,9 +234,13 @@ class SerialBackend:
     """Parts run one after another in the calling thread."""
 
     name = "serial"
+    accepts_weights = True  # modelled part weights; local pools ignore them
 
     def map_parts(
-        self, engine, parts: Sequence[Tuple[int, List[GroupTask]]]
+        self,
+        engine,
+        parts: Sequence[Tuple[int, List[GroupTask]]],
+        weights: Optional[Sequence[float]] = None,
     ) -> List[PartOutcome]:
         submitted = time.perf_counter()
         return [
@@ -249,12 +253,16 @@ class ThreadBackend:
     """One OS thread per part; BLAS releases the GIL during solves."""
 
     name = "thread"
+    accepts_weights = True
 
     def __init__(self, n_workers: int):
         self.n_workers = max(1, int(n_workers))
 
     def map_parts(
-        self, engine, parts: Sequence[Tuple[int, List[GroupTask]]]
+        self,
+        engine,
+        parts: Sequence[Tuple[int, List[GroupTask]]],
+        weights: Optional[Sequence[float]] = None,
     ) -> List[PartOutcome]:
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
             futures = [
@@ -268,12 +276,16 @@ class ProcessBackend:
     """One OS process per part; payloads and records travel by pickle."""
 
     name = "process"
+    accepts_weights = True
 
     def __init__(self, n_workers: int):
         self.n_workers = max(1, int(n_workers))
 
     def map_parts(
-        self, engine, parts: Sequence[Tuple[int, List[GroupTask]]]
+        self,
+        engine,
+        parts: Sequence[Tuple[int, List[GroupTask]]],
+        weights: Optional[Sequence[float]] = None,
     ) -> List[PartOutcome]:
         if len(parts) <= 1:  # don't pay process startup for a serial plan
             return SerialBackend().map_parts(engine, parts)
@@ -366,6 +378,7 @@ class WorkerPoolExecutor:
             snapshot = snapshot.snapshot()
         wanted_set = set(wanted)
         parts: List[Tuple[int, List[GroupTask]]] = []
+        part_weights: List[float] = []
         index_map: List[List[int]] = []
         with self.perf.stage("execute.seed"):
             # Heaviest parts first (LPT): the pool drains submissions in
@@ -396,9 +409,20 @@ class WorkerPoolExecutor:
             for worker, indices in part_indices:
                 tasks = self._tasks_for_part(plan, indices, chain_parent, seeds)
                 parts.append((worker, tasks))
+                part_weights.append(
+                    sum(plan.weights.get(v, 1.0) for v in indices)
+                )
                 index_map.append(indices)
         with self.perf.stage("execute.solve"):
-            outcomes = self.backend.map_parts(self.engine, parts)
+            # Modelled part weights ride along for backends that schedule
+            # (the remote fabric's EWMA placement); foreign backends with
+            # the plain 2-arg map_parts still work unchanged.
+            if getattr(self.backend, "accepts_weights", False):
+                outcomes = self.backend.map_parts(
+                    self.engine, parts, weights=part_weights
+                )
+            else:
+                outcomes = self.backend.map_parts(self.engine, parts)
         records: List[Optional[CompileRecord]] = [None] * len(plan.uncovered)
         for indices, outcome in zip(index_map, outcomes):
             for local, vertex in enumerate(indices):

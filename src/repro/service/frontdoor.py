@@ -87,6 +87,8 @@ def _make_engine(args):
         run = config.run.fast()
         if args.engine == "grape-batched":
             run = run.batched()
+        if getattr(args, "class_parts", False):
+            run = run.class_parts()
         engine = GrapeEngine(config.physics, run)
     return config, engine
 
@@ -107,7 +109,10 @@ def _make_service(args, announce: IO[str] = sys.stdout) -> CompileService:
         from repro.service.remote import RemoteExecutor
 
         backend = RemoteExecutor(
-            host=args.worker_host, port=args.worker_port
+            host=args.worker_host,
+            port=args.worker_port,
+            parts_per_worker=args.parts_per_worker,
+            policy=args.fabric_policy,
         )
         n_workers = None  # partition count falls back to the config default
         print(json.dumps({"workers": backend.address}), file=announce, flush=True)
@@ -135,6 +140,14 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
              "(1e-9) rather than bit-identically",
     )
     parser.add_argument("--policy", default="map2b4l")
+    parser.add_argument(
+        "--class-parts", action="store_true",
+        help="class-aware batch partitioning: the planner packs "
+             "same-solve-class groups into the same part (bounded balance "
+             "slack) so --engine grape-batched sees wide batched buckets; "
+             "a planning preference only — pulse content and the store "
+             "fingerprint are unchanged",
+    )
 
 
 def _workers_arg(value: str):
@@ -176,6 +189,19 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--worker-port", type=int, default=0,
         help="with --workers remote: fabric port (0 picks a free one)",
+    )
+    parser.add_argument(
+        "--parts-per-worker", type=int, default=2,
+        help="with --workers remote: parts each worker may hold (1 in "
+             "flight + the rest reserved in its queue, the stealable "
+             "backlog); overflow waits in a shared pool",
+    )
+    parser.add_argument(
+        "--fabric-policy", choices=("steal", "static"), default="steal",
+        help="with --workers remote: 'steal' = capability-weighted EWMA "
+             "placement with work stealing from stragglers; 'static' = "
+             "classic LPT assignment at submission, never rebalanced "
+             "(the pre-scheduler baseline, kept for A/B benches)",
     )
     _add_engine_args(parser)
     parser.add_argument(
@@ -290,6 +316,13 @@ def cmd_serve(argv: Sequence[str]) -> int:
         help="async: batches solving concurrently (coalesced via the "
              "shared GroupCoalescer)",
     )
+    parser.add_argument(
+        "--max-queue", type=int, default=None,
+        help="async admission control: requests arriving while this many "
+             "compiles are already pending get a typed 'overloaded' "
+             "response with a retry_after_s hint instead of buffering "
+             "without bound (default: unbounded)",
+    )
     args = parser.parse_args(argv)
     if args.port is not None and not args.use_async:
         # Validate before _make_service: a usage error must not leave a
@@ -311,6 +344,7 @@ def cmd_serve(argv: Sequence[str]) -> int:
             window_s=args.window_ms / 1000.0,
             max_batch=args.max_batch,
             max_inflight=args.inflight,
+            max_queue=args.max_queue,
         )
     return serve_loop(service, sys.stdin, sys.stdout)
 
@@ -481,6 +515,13 @@ def cmd_store(argv: Sequence[str]) -> int:
         "--timeout", type=float, default=5.0,
         help="per-replica probe timeout in seconds (remote specs)",
     )
+    p_audit.add_argument(
+        "--fabric", default=None,
+        help="also probe a worker fabric's stats verb (host:port as "
+             "announced by a --workers remote service) for admission "
+             "pressure: sheds beyond the shed-ratio threshold raise an "
+             "elevated_load_shedding finding",
+    )
 
     args = parser.parse_args(argv)
     try:
@@ -541,7 +582,9 @@ def cmd_store(argv: Sequence[str]) -> int:
         if args.action == "audit":
             from repro.service.audit import FleetAuditor, exit_code_for
 
-            auditor = FleetAuditor(args.store, timeout_s=args.timeout)
+            auditor = FleetAuditor(
+                args.store, timeout_s=args.timeout, fabric=args.fabric
+            )
             findings = auditor.run()
             report = auditor.to_report(findings)
             if args.as_json:
@@ -698,6 +741,12 @@ def cmd_dashboard(argv: Sequence[str]) -> int:
         "--interval", type=float, default=2.0,
         help="seconds between stats polls of each target",
     )
+    parser.add_argument(
+        "--fabric", default=None,
+        help="worker fabric host:port (announced by a --workers remote "
+             "service): adds a per-worker occupancy/steals table, "
+             "repro_fabric_* metrics, and the load-shedding audit probe",
+    )
     args = parser.parse_args(argv)
     from repro.service.dashboard import serve_dashboard
 
@@ -709,6 +758,7 @@ def cmd_dashboard(argv: Sequence[str]) -> int:
             host=args.host,
             port=args.port,
             interval_s=args.interval,
+            fabric=args.fabric,
         )
     except (ValueError, OSError, StoreVersionError) as exc:
         print(f"repro dashboard: {exc}", file=sys.stderr)

@@ -114,10 +114,17 @@ class CompilePlanner:
         pipeline,
         similarity: str = "fidelity1",
         perf: Optional[PerfRecorder] = None,
+        class_aware: Optional[bool] = None,
     ) -> None:
         self.pipeline = pipeline
         self.similarity = similarity
         self.perf = recorder_or_null(perf)
+        if class_aware is None:
+            # Follow the engine's run config (``--class-parts``); engines
+            # without one (bare ModelEngine) default to weight-only cuts.
+            run = getattr(pipeline.engine, "run", None)
+            class_aware = bool(getattr(run, "class_partition", False))
+        self.class_aware = bool(class_aware)
 
     def plan(
         self,
@@ -200,5 +207,16 @@ class CompilePlanner:
             weights = modelled_node_weights(
                 sequence, list(uncovered), self._iteration_model()
             )
-            partition = partition_tree(sequence, weights, n_workers)
+            class_of = None
+            solve_class = getattr(self.pipeline.engine, "solve_class", None)
+            if self.class_aware and callable(solve_class):
+                # Same-class vertices pack into the same part so the
+                # batched-GRAPE kernels see wide buckets (PR 8 follow-on);
+                # virtual-diagonal groups class as None and never attract.
+                class_of = {
+                    v: solve_class(uncovered[v]) for v in sequence.order
+                }
+            partition = partition_tree(
+                sequence, weights, n_workers, class_of=class_of
+            )
         return sequence, weights, partition

@@ -22,6 +22,12 @@ with its request. A request that arrives without an id is assigned one
 :func:`assign_request_id`; async responses additionally carry ``"batch"``,
 the server-side batch sequence number the request was planned in.
 
+Under overload the async server sheds instead of buffering without bound:
+a request arriving while the planning queue sits at ``--max-queue`` gets a
+typed refusal, ``{"ok": false, "error": "overloaded", "overloaded": true,
+"retry_after_s": ...}`` (:func:`overloaded_response`) — back off for the
+hinted seconds and resubmit.
+
 Program names resolve against the named benchmark suite plus the ``qft_<n>``
 family (n bounded to 1..64 — an unbounded size would let one request line
 stall the server in circuit construction); everything else must ship QASM
@@ -148,6 +154,27 @@ def response_for(request: CompileRequest, report, batch) -> Dict:
 
 def error_response(request_id: str, message: str) -> Dict:
     return {"id": request_id, "ok": False, "error": message}
+
+
+def overloaded_response(
+    request_id: str, retry_after_s: float, queued: Optional[int] = None
+) -> Dict:
+    """Typed load-shed: the async front door's admission control refused
+    the request (planning queue at ``--max-queue``). ``overloaded: true``
+    distinguishes the shed from a compile failure so clients back off and
+    retry after ``retry_after_s`` (the server's drain-time estimate from
+    its batch-wall EWMA and current queue depth) instead of re-submitting
+    immediately or surfacing a hard error."""
+    payload = {
+        "id": request_id,
+        "ok": False,
+        "error": "overloaded",
+        "overloaded": True,
+        "retry_after_s": round(float(retry_after_s), 3),
+    }
+    if queued is not None:
+        payload["queued"] = int(queued)
+    return payload
 
 
 def encode(payload: Dict) -> str:

@@ -28,11 +28,18 @@ Two halves, cashing in the two extension seams the service layer left:
   already resolved from the batch's store snapshot, so pulses stay
   bit-identical to the serial executor), runs
   :func:`~repro.service.executor.run_part`, and ships the
-  :class:`~repro.service.executor.PartOutcome` back. Parts are dispatched
-  in the LPT order the caller built; a worker disconnect requeues its
-  in-flight part for the next free worker (straggler reassignment), and
-  if no worker is left the dispatcher drains the queue locally — a batch
-  never strands on the fabric.
+  :class:`~repro.service.executor.PartOutcome` back. *Which* worker runs
+  *which* part is decided by the
+  :class:`~repro.service.scheduler.FabricScheduler`: capability-weighted
+  placement (an EWMA of each worker's measured solve throughput),
+  ``parts_per_worker`` parts in flight per connection, and work stealing
+  from stragglers — see :mod:`repro.service.scheduler`. A worker
+  disconnect requeues its in-flight part before the connection retires
+  (straggler reassignment), and if no worker is left the dispatcher
+  drains the remaining parts locally — a batch never strands on the
+  fabric. Scheduling only moves parts between workers; every part's
+  tasks carry their own seeds, so the produced pulses are byte-identical
+  to the serial executor no matter where or when a part lands.
 
 Worker wire format: JSON lines carrying base64-framed pickles
 (``{"op": "part", "job": n, "payload": <b64 pickle of (engine, worker,
@@ -60,7 +67,6 @@ from __future__ import annotations
 import base64
 import json
 import pickle
-import queue
 import random
 import socket
 import threading
@@ -78,6 +84,11 @@ from repro.core.cache import (
 from repro.grouping.group import GateGroup
 from repro.perf.instrument import PerfRecorder, recorder_or_null
 from repro.service.executor import GroupTask, PartOutcome, run_part
+from repro.service.scheduler import (
+    CLOSE_FABRIC,
+    FabricScheduler,
+    ScheduledPart,
+)
 from repro.service.store import (
     StoreBackend,
     StoreStats,
@@ -787,38 +798,40 @@ class RemoteExecutor:
     """``map_parts`` over TCP workers (``repro worker --connect``).
 
     The executor is the listening side: workers dial in, announce
-    themselves, and then loop pulling parts off one shared queue — the
-    queue preserves the caller's LPT submission order, so the heaviest
-    parts land on workers first, exactly like the local pools. One part is
-    in flight per worker connection (responses correlate trivially), a
-    disconnect requeues the in-flight part, and when the fabric is empty
-    the dispatcher runs the remaining parts in-process so no batch ever
-    strands. Long-lived: one instance serves every batch of a service
+    themselves, and then loop pulling parts from the
+    :class:`~repro.service.scheduler.FabricScheduler` — capability-
+    weighted placement, ``parts_per_worker`` reservations per connection,
+    work stealing from stragglers (``policy="steal"``, the default) or
+    classic static LPT assignment (``policy="static"``, the pre-scheduler
+    baseline the bench compares against). A disconnect requeues the
+    in-flight part before the connection retires, and when the fabric is
+    empty the dispatcher runs the remaining parts in-process so no batch
+    ever strands. Long-lived: one instance serves every batch of a service
     (``hasattr(spec, "map_parts")`` in ``make_backend`` passes it through).
     """
 
     name = "remote"
+    accepts_weights = True  # map_parts takes the plan's modelled weights
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 0,
         wait_workers_s: float = 10.0,
+        parts_per_worker: int = 2,
+        policy: str = "steal",
         perf: Optional[PerfRecorder] = None,
     ) -> None:
         self.host = host
         self.wait_workers_s = float(wait_workers_s)
         self.perf = recorder_or_null(perf)
         self.stopped = threading.Event()
-        self._queue: "queue.Queue" = queue.Queue()
-        self._live_lock = threading.Condition()
-        self._live = 0  # connected worker handlers
-        self._in_flight = 0  # parts currently round-tripping on a worker
-        self._next_worker = 0  # monotonic label counter, never reused
-        self._worker_stats: Dict[str, Dict] = {}  # label -> occupancy row
+        self.scheduler = FabricScheduler(
+            parts_per_worker=parts_per_worker,
+            policy=policy,
+            perf=self.perf,
+        )
         self.started_at = time.monotonic()
-        self.n_dispatched = 0
-        self.n_reassigned = 0
         self.n_local_fallback = 0
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -835,40 +848,42 @@ class RemoteExecutor:
     def address(self) -> str:
         return f"{self.host}:{self.port}"
 
+    @property
+    def n_dispatched(self) -> int:
+        return self.scheduler.n_dispatched
+
+    @property
+    def n_reassigned(self) -> int:
+        return self.scheduler.n_reassigned
+
+    @property
+    def n_steals(self) -> int:
+        return self.scheduler.n_steals
+
     def live_workers(self) -> int:
-        with self._live_lock:
-            return self._live
+        return self.scheduler.connected_count()
+
+    def note_shed(self, n: int = 1) -> None:
+        """Front-door admission control reports load-shed requests here,
+        so shedding shows up in the fabric ``stats`` verb next to the
+        occupancy it was shedding against."""
+        self.scheduler.note_shed(n)
 
     def stats(self) -> Dict:
         """Fabric occupancy snapshot (the ``stats`` verb's payload).
 
-        Workers connected, parts in flight / queued, dispatch counters,
-        and one row per worker connection the fabric has ever seen —
-        parts handled, accumulated solve seconds (the worker's reported
-        ``wall_s``) and wire seconds (round trip minus compute), plus
-        whether the connection is still up. Queue size counts queued
-        *parts* only, never ``close()`` sentinels.
+        Workers connected, parts in flight / queued, dispatch + steal +
+        shed counters, the scheduler policy, and one row per worker
+        connection the fabric has ever seen — parts handled, accumulated
+        solve seconds (the worker's reported ``wall_s``), wire seconds
+        (round trip minus compute), current queue depth / in-flight
+        occupancy, the EWMA throughput estimate, and how many parts it
+        stole (``steals_won``) or lost to thieves (``steals_lost``).
         """
-        with self._live_lock:
-            per_worker = {
-                label: dict(row) for label, row in self._worker_stats.items()
-            }
-            live = self._live
-            in_flight = self._in_flight
-        with self._queue.mutex:
-            queued = sum(
-                1 for item in self._queue.queue if item is not None
-            )
-        return {
-            "workers_connected": live,
-            "parts_in_flight": in_flight,
-            "parts_queued": queued,
-            "n_dispatched": self.n_dispatched,
-            "n_reassigned": self.n_reassigned,
-            "n_local_fallback": self.n_local_fallback,
-            "uptime_s": time.monotonic() - self.started_at,
-            "workers": per_worker,
-        }
+        payload = self.scheduler.stats()
+        payload["n_local_fallback"] = self.n_local_fallback
+        payload["uptime_s"] = time.monotonic() - self.started_at
+        return payload
 
     def close(self) -> None:
         self.stopped.set()
@@ -882,11 +897,8 @@ class RemoteExecutor:
             self._listener.close()
         except OSError:
             pass
-        # Unblock every idle handler; each forwards the close to its worker.
-        with self._live_lock:
-            live = self._live
-        for _ in range(live):
-            self._queue.put(None)
+        # Wake every idle handler; each forwards the close to its worker.
+        self.scheduler.close()
 
     # -------------------------------------------------------------- fabric
     def _accept_loop(self) -> None:
@@ -910,9 +922,12 @@ class RemoteExecutor:
         verb — it gets one JSON :meth:`stats` snapshot back and the
         connection closes (``repro worker --connect host:port --stats``).
 
-        On any wire failure the in-flight part goes *back on the queue
-        before* the live count drops, so the dispatch loop can never
-        observe zero workers while a recoverable part is invisible.
+        Which part this handler pulls next is the scheduler's decision
+        (own reservation queue → pending pool → steal); the handler owns
+        only the wire. On any wire failure the in-flight part goes *back
+        on the scheduler before* the connection retires
+        (:meth:`FabricScheduler.release`), so dispatch can never observe
+        zero workers while a recoverable part is invisible.
         """
         try:
             stream = conn.makefile("rwb")
@@ -931,63 +946,53 @@ class RemoteExecutor:
         except (OSError, ValueError):
             conn.close()
             return
-        with self._live_lock:
-            self._live += 1
-            self._next_worker += 1
-            label = f"worker{self._next_worker}"
-            self._worker_stats[label] = {
-                "connected": True,
-                "parts": 0,
-                "solve_s": 0.0,
-                "wire_s": 0.0,
-            }
-            self._live_lock.notify_all()
-        item = None
+        label = self.scheduler.register()
+        item: Optional[ScheduledPart] = None
         try:
             while not self.stopped.is_set():
-                item = self._queue.get()
-                if item is None:  # close() sentinel
+                pulled = self.scheduler.next_part(label, timeout_s=0.25)
+                if pulled is CLOSE_FABRIC:
                     try:
                         stream.write(b'{"op": "close"}\n')
                         stream.flush()
                     except OSError:
                         pass
                     return
-                job, index, payload = item
+                if pulled is None:  # timeout: re-check the stop flag
+                    continue
+                item = pulled
                 dispatched_at = time.perf_counter()
-                with self._live_lock:
-                    self._in_flight += 1
                 try:
-                    try:
-                        stream.write(
-                            (
-                                json.dumps(
-                                    {"op": "part", "job": index, "payload": payload}
-                                )
-                                + "\n"
-                            ).encode()
-                        )
-                        stream.flush()
-                        reply = stream.readline()
-                        if not reply:
-                            raise ConnectionError("worker closed mid-part")
-                        message = json.loads(reply)
-                    except (OSError, ValueError):
-                        # Disconnect mid-part: reassign, retire this worker.
-                        # A part whose job already finished (failed batch,
-                        # purged queue) must not haunt the next batch's queue.
-                        if not job.done():
-                            self._queue.put(item)
-                            self.n_reassigned += 1
-                            self.perf.count("remote.reassigned")
-                        item = None
-                        return
-                finally:
-                    with self._live_lock:
-                        self._in_flight -= 1
-                item = None
-                self.n_dispatched += 1
+                    stream.write(
+                        (
+                            json.dumps(
+                                {
+                                    "op": "part",
+                                    "job": item.index,
+                                    "payload": item.payload,
+                                }
+                            )
+                            + "\n"
+                        ).encode()
+                    )
+                    stream.flush()
+                    reply = stream.readline()
+                    if not reply:
+                        raise ConnectionError("worker closed mid-part")
+                    message = json.loads(reply)
+                except (OSError, ValueError):
+                    # Disconnect mid-part: requeue first, then retire this
+                    # worker. A part whose job already finished (failed
+                    # batch, purged queue) is dropped by release().
+                    self.scheduler.release(label, item)
+                    item = None
+                    return
+                job = item.job
                 if message.get("op") == "error":
+                    # The failure is the batch's problem, not a capability
+                    # signal: release the slot without feeding the EWMA.
+                    self.scheduler.complete(label, item, wall_s=None)
+                    item = None
                     job.fail(RuntimeError(message.get("error", "worker error")))
                     continue
                 outcome: PartOutcome = _unpack(message["payload"])
@@ -1001,82 +1006,67 @@ class RemoteExecutor:
                 outcome.perf_stages["wire"] = max(
                     0.0, roundtrip - outcome.wall_s
                 )
-                with self._live_lock:
-                    row = self._worker_stats[label]
-                    row["parts"] += 1
-                    row["solve_s"] += float(outcome.wall_s)
-                    row["wire_s"] += float(outcome.perf_stages["wire"])
-                job.complete(index, outcome)
+                self.scheduler.complete(
+                    label,
+                    item,
+                    wall_s=outcome.wall_s,
+                    wire_s=outcome.perf_stages["wire"],
+                )
+                job.complete(item.index, outcome)
+                item = None
         finally:
-            if item is not None and not item[0].done():
-                self._queue.put(item)  # died holding a live part
-
-            with self._live_lock:
-                self._live -= 1
-                self._worker_stats[label]["connected"] = False
-                self._live_lock.notify_all()
+            if item is not None:
+                # Died holding a live part (e.g. stop flag mid-loop):
+                # same requeue-before-retire contract as the wire failure.
+                self.scheduler.release(label, item)
+            self.scheduler.unregister(label)
             try:
                 conn.close()
             except OSError:
                 pass
 
     # ------------------------------------------------------------ dispatch
-    def _wait_for_worker(self, timeout: float) -> bool:
-        deadline = time.monotonic() + timeout
-        with self._live_lock:
-            while self._live == 0:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    return False
-                self._live_lock.wait(remaining)
-            return True
-
-    def _take_queued(self, job: Optional[_MapJob]) -> List[Tuple]:
-        """Pop this job's queued items (everything, when ``job`` is None);
-        other jobs' items go straight back — the queue is shared by
-        concurrent ``map_parts`` calls (async server, ``max_inflight>1``)."""
-        mine: List[Tuple] = []
-        others: List[Tuple] = []
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if item is None:
-                # close() sentinel: put it back so the idle handler it was
-                # meant for still wakes up and hangs up its worker.
-                others.append(item)
-                continue
-            if job is not None and item[0] is not job:
-                others.append(item)
-            else:
-                mine.append(item)
-        for item in others:
-            self._queue.put(item)
-        return mine
-
     def _drain_locally(self, engine, job: _MapJob) -> None:
-        """No workers left: run whatever is still queued in-process."""
-        for _, index, payload in self._take_queued(job):
-            _, worker, tasks = _unpack(payload)
+        """No workers left: run whatever is still scheduled in-process."""
+        for item in self.scheduler.take_job(job):
+            _, worker, tasks = _unpack(item.payload)
             self.n_local_fallback += 1
-            self.perf.count("remote.local_fallback")
+            self.perf.count("schedule.local_fallback")
             try:
                 outcome = run_part(engine, worker, tasks, job.started_at)
             except BaseException as error:
                 job.fail(error)
                 return
-            job.complete(index, outcome)
+            job.complete(item.index, outcome)
 
     def map_parts(
-        self, engine, parts: Sequence[Tuple[int, List[GroupTask]]]
+        self,
+        engine,
+        parts: Sequence[Tuple[int, List[GroupTask]]],
+        weights: Optional[Sequence[float]] = None,
     ) -> List[PartOutcome]:
+        """Run the parts on the fabric; ``weights`` are the plan's modelled
+        per-part iteration costs (task counts when absent) — the unit the
+        scheduler's placement and throughput EWMA are denominated in."""
         if not parts:
             return []
-        have_worker = self._wait_for_worker(self.wait_workers_s)
+        have_worker = self.scheduler.wait_for_worker(self.wait_workers_s)
         job = _MapJob(len(parts))
-        for index, (worker, tasks) in enumerate(parts):
-            self._queue.put((job, index, _pack((engine, worker, tasks))))
+        if weights is None:
+            weights = [float(len(tasks)) for _, tasks in parts]
+        items = [
+            ScheduledPart(
+                job=job,
+                index=index,
+                payload=_pack((engine, worker, tasks)),
+                weight=max(float(weight), 1e-9),
+            )
+            for index, ((worker, tasks), weight) in enumerate(
+                zip(parts, weights)
+            )
+        ]
+        with self.perf.stage("schedule.assign"):
+            self.scheduler.submit(items)
         if not have_worker:
             self._drain_locally(engine, job)
         while not job.done():
@@ -1086,7 +1076,7 @@ class RemoteExecutor:
         if job.error is not None:
             # A failed batch must not leave its undispatched parts queued
             # for workers to burn cycles on (and to delay the next batch).
-            self._take_queued(job)
+            self.scheduler.take_job(job)
             raise job.error
         return [job.outcomes[i] for i in range(len(parts))]
 

@@ -55,6 +55,12 @@ class RunConfig:
     # their stores interoperate (a serial-populated store warm-seeds a
     # batched engine and vice versa).
     batched_grape: bool = False
+    # Opt-in class-aware partitioning: the batch planner packs
+    # same-solve-class groups into the same part so the batched driver
+    # sees wide buckets (core/partition.py's affinity term). A planning
+    # preference only — pulse content is untouched — so, like
+    # ``batched_grape``, deliberately NOT part of the engine fingerprint.
+    class_partition: bool = False
 
     def fast(self) -> "RunConfig":
         """Scaled-down budget for tests and quick benches."""
@@ -63,6 +69,10 @@ class RunConfig:
     def batched(self) -> "RunConfig":
         """Same budget, cross-pulse batched GRAPE driver enabled."""
         return replace(self, batched_grape=True)
+
+    def class_parts(self) -> "RunConfig":
+        """Same budget, class-aware batch partitioning enabled."""
+        return replace(self, class_partition=True)
 
 
 @dataclass
