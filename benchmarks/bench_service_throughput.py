@@ -23,9 +23,16 @@ Regression points (baselines in PERF.md):
   ``get_many`` vs per-key reads, replicated failover reads, and the
   anti-entropy idle-round cost / heal throughput (PERF.md rows).
 
+* ``--loadgen``: the clients x shards x workers scaling sweep through the
+  load harness (``repro.service.loadgen``): each cell drives an in-process
+  async server with N closed-loop clients for a fixed window and reports
+  ``throughput_rps`` / ``p95_latency_ms`` — the PERF.md scaling table. The
+  harness's wrong-answer detector runs in every cell (zero tolerated).
+
 Run:  pytest benchmarks/bench_service_throughput.py --benchmark-only -s
       pytest benchmarks/bench_service_throughput.py --benchmark-only -s --shards 8
       pytest benchmarks/bench_service_throughput.py --benchmark-only -s --remote
+      pytest benchmarks/bench_service_throughput.py --benchmark-only -s --loadgen
 """
 
 import asyncio
@@ -511,6 +518,69 @@ def test_fleet_audit_probe_cost(benchmark, tmp_path, remote_mode):
         f"\nfleet audit (loopback, 2 replicas, {n_entries} entries): "
         f"clean pass {audit_wall * 1e3:.1f} ms"
     )
+
+
+def test_loadgen_scaling_sweep(benchmark, tmp_path, loadgen_mode):
+    """--loadgen: clients x shards x workers through the load harness.
+
+    Every cell is one short closed-loop run of the ``qft-small`` traffic
+    mix against a fresh in-process async server — cold at the start of
+    the window, warm by the end, the way real traffic ramps. The printed
+    table is the PERF.md scaling section; the correctness gates are the
+    harness's own (every request answered, zero wrong answers)."""
+    from repro.service.loadgen import InProcessServer, Scenario, drive, percentile
+    from repro.service import open_store
+
+    config = PipelineConfig(policy_name="map2b4l")
+    WINDOW_S = 3.5
+    rows = []
+    cells = [
+        (clients, shards, workers)
+        for clients in (1, 2, 4)
+        for shards in (1, 2)
+        for workers in (1, 2)
+    ]
+    for index, (clients, shards, workers) in enumerate(cells):
+        scenario = Scenario(
+            name=f"sweep-c{clients}s{shards}w{workers}", mix="qft-small",
+            arrival="closed", clients=clients, duration_s=WINDOW_S,
+            shards=shards, workers=workers,
+        )
+        service = CompileService(
+            open_store(str(tmp_path / f"cell{index}"), shards=shards),
+            config, backend="thread", n_workers=workers,
+        )
+        server = InProcessServer(service, window_s=0.01)
+        port = server.start()
+        runner = (
+            (lambda: run_once(benchmark, drive, "127.0.0.1", port, scenario))
+            if (clients, shards, workers) == (4, 2, 2)  # the headline cell
+            else (lambda: drive("127.0.0.1", port, scenario))
+        )
+        try:
+            result = runner()
+        finally:
+            server.stop()
+        assert result.requests > 0
+        assert result.errors == 0 and result.sheds == 0
+        assert result.wrong_answers == 0
+        rows.append((
+            clients, shards, workers,
+            result.ok / max(result.duration_s, 1e-9),
+            percentile(result.latencies_ms, 50),
+            percentile(result.latencies_ms, 95),
+        ))
+
+    print(
+        f"\n{'clients':>8} | {'shards':>6} | {'workers':>7} | "
+        f"{'rps':>7} | {'p50 ms':>7} | {'p95 ms':>7}"
+    )
+    print("-" * 58)
+    for clients, shards, workers, rps, p50, p95 in rows:
+        print(
+            f"{clients:8d} | {shards:6d} | {workers:7d} | "
+            f"{rps:7.1f} | {p50:7.1f} | {p95:7.1f}"
+        )
 
 
 def _store_snapshot(store):

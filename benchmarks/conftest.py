@@ -42,6 +42,14 @@ def pytest_addoption(parser):
              "batched engine (RunConfig.batched_grape) instead of the "
              "serial oracle (bench_service_throughput.py)",
     )
+    parser.addoption(
+        "--loadgen",
+        action="store_true",
+        default=False,
+        help="run the loadgen-backed clients x shards x workers scaling "
+             "sweep (the PERF.md scaling table; "
+             "bench_service_throughput.py)",
+    )
 
 
 @pytest.fixture
@@ -67,6 +75,13 @@ def scheduler_mode(request):
 def batched_grape_mode(request):
     """True when --batched-grape selects the cross-pulse batched engine."""
     return bool(request.config.getoption("--batched-grape"))
+
+
+@pytest.fixture
+def loadgen_mode(request):
+    if not request.config.getoption("--loadgen"):
+        pytest.skip("loadgen scaling sweep runs with --loadgen")
+    return True
 
 
 def run_once(benchmark, fn, *args, **kwargs):

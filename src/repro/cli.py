@@ -30,6 +30,10 @@ Usage::
     python -m repro dashboard --store "remote://db1:7777|db2:7777"  # live page
     python -m repro dashboard --store /tmp/x --fabric solver:7778  # + workers
     python -m repro worker --connect solver:7778           # remote solver
+    python -m repro loadgen --scenario smoke --reps 2 --out /tmp/lg  # run table
+    python -m repro loadgen --scenario smoke-replica-kill \\
+        --gate slo/loadgen-smoke.json --fail-on error      # SLO-gated chaos run
+    python -m repro loadgen --chain-study --reps 2 --out /tmp/lg  # warm modes
 """
 
 from __future__ import annotations
@@ -82,7 +86,13 @@ def _run(name: str, mode: str) -> None:
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Service subcommands parse their own flags (repro serve/batch --store ...).
-    if argv and argv[0] in ("serve", "batch", "store", "worker", "dashboard"):
+    if argv and argv[0] in (
+        "serve", "batch", "store", "worker", "dashboard", "loadgen"
+    ):
+        if argv[0] == "loadgen":
+            from repro.service.loadgen import cmd_loadgen
+
+            return cmd_loadgen(argv[1:])
         from repro.service.frontdoor import (
             cmd_batch,
             cmd_dashboard,
@@ -106,7 +116,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), or 'all', 'list', 'perf', "
-             "'serve', 'batch', 'store', 'worker', 'dashboard'",
+             "'serve', 'batch', 'store', 'worker', 'dashboard', 'loadgen'",
     )
     parser.add_argument(
         "--mode",
@@ -130,6 +140,7 @@ def main(argv=None) -> int:
         print("store")
         print("worker")
         print("dashboard")
+        print("loadgen")
         return 0
     if args.experiment == "perf":
         from repro.perf.hotpaths import run_perf

@@ -219,6 +219,53 @@ is heterogeneous and self-balancing); climbing ``n_reassigned`` means
 workers are disconnecting mid-part; ``n_local_fallback`` > 0 means the
 fabric ran out of workers entirely and the dispatcher solved in-process.
 
+Load testing the service (runbook)
+----------------------------------
+``repro loadgen`` (:mod:`repro.service.loadgen`) replays declarative
+traffic scenarios against ``repro serve --async`` and turns each run ×
+repetition into one row of ``run_table.csv`` (see RUN_TABLE_COLUMNS.md
+at the repo root for every column) plus a ``perf.json`` of raw
+evidence::
+
+    repro loadgen --scenario smoke --reps 2 --out /tmp/lg
+    repro loadgen --scenario smoke-replica-kill \\
+        --gate slo/loadgen-smoke.json --fail-on error
+    repro loadgen --scenario my-scenario.json   # spec file: Scenario fields
+    repro loadgen --chain-study --reps 2        # warm='store' vs 'chain'
+
+*Choosing a scenario*: ``smoke`` is the fast local sanity run (closed
+loop, no subprocess topology beyond the server). ``smoke-replica-kill``
+is the CI chaos gate — a ``w=majority`` replica pair under a 2-worker
+fabric, with the first replica SIGKILLed mid-run and revived with
+anti-entropy; the row must show nonzero ``failovers``/``degraded`` and
+zero ``wrong_answers``/``quorum_failures``. ``soak-mixed`` is the
+nightly long run (open-loop Poisson arrivals, mixed store state, replica
+kill + worker churn + a stalled worker socket). ``burst-shed`` drives a
+bounded admission queue to overload — sheds must be typed, admitted
+requests must all answer. A ``.json`` file whose keys are
+:class:`~repro.service.loadgen.Scenario` fields defines a custom
+scenario; unknown fields, unknown mixes, and unresolvable program names
+are refused before anything spawns.
+
+*Reading the gate*: ``--gate slo.json`` holds every row to floors and
+ceilings (``min_throughput_rps``, ``max_p95_latency_ms``,
+``max_error_rate``, ``max_wrong_answers``, ...; the full key table is in
+RUN_TABLE_COLUMNS.md). Exit codes mirror ``repro store audit
+--fail-on``: 0 clean or below the gate, else 1/4/5/6 by the worst
+violation's severity (info/warn/error/critical), with 2 the usage error.
+Wrong answers and quorum failures are *critical* — they mean the service
+lied, not that it was slow.
+
+*When to trust a soak vs a smoke*: the smoke's 30-second window proves
+wiring — failover fires, counters move, nothing lies — but its latency
+percentiles sit on a handful of seconds of warm-up-dominated traffic,
+so treat its p95 as a ceiling check, not a measurement. Capacity
+planning numbers (sustained rps, steady-state p99, leak-shaped drift)
+only mean something from the soak's minutes-long steady state, with
+``store_state="mixed"`` so the hit path and solve path both stay
+exercised. Repetitions exist to catch flakes, not to average them away:
+the gate holds every rep's row independently.
+
 Front door
 ----------
 ``repro serve`` is a JSON-lines request loop on stdin/stdout; with
@@ -240,6 +287,20 @@ from repro.service.audit import (
     worst_severity,
 )
 from repro.service.dashboard import DashboardServer, FleetPoller
+from repro.service.loadgen import (
+    RUN_TABLE_COLUMNS,
+    SCENARIOS,
+    FaultSpec,
+    InProcessServer,
+    RunTable,
+    Scenario,
+    evaluate_slo,
+    gate_exit_code,
+    load_scenario,
+    load_slo,
+    run_chain_study,
+    run_scenario,
+)
 from repro.service.executor import (
     GroupCoalescer,
     ProcessBackend,
@@ -290,10 +351,16 @@ __all__ = [
     "CompileService",
     "DashboardServer",
     "FabricScheduler",
+    "FaultSpec",
     "Finding",
     "FleetAuditor",
     "FleetPoller",
     "GroupCoalescer",
+    "InProcessServer",
+    "RUN_TABLE_COLUMNS",
+    "RunTable",
+    "SCENARIOS",
+    "Scenario",
     "ProcessBackend",
     "PulseStore",
     "QuorumError",
@@ -316,12 +383,18 @@ __all__ = [
     "WorkerPlan",
     "WorkerPoolExecutor",
     "WorkerSlot",
+    "evaluate_slo",
     "exit_code_for",
     "fabric_stats",
+    "gate_exit_code",
+    "load_scenario",
+    "load_slo",
     "make_backend",
     "open_store",
     "parse_route",
     "reshard",
+    "run_chain_study",
+    "run_scenario",
     "worker_loop",
     "worst_severity",
 ]

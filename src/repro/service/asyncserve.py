@@ -56,6 +56,7 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import signal
 import sys
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -243,6 +244,23 @@ class AsyncCompileServer:
         self._pending_count += 1
         self._have_work.set()
 
+    def stats_payload(self) -> dict:
+        """The server-side counter snapshot: the ``stats`` command's body
+        and the ``final_stats`` line a terminating TCP server emits — one
+        shape, so a load harness can diff mid-run and closing snapshots."""
+        return {
+            "store": self.service.store.stats.to_dict(),
+            "store_shards": self.service.store.stats_by_shard(),
+            "entries": len(self.service.store),
+            "batches": self.service.n_batches,
+            "served_batches": self.n_batches,
+            "served_requests": self.n_requests,
+            "queued": self._pending_count,
+            "shed": self.n_shed,
+            "max_queue": self.max_queue,
+            "coalesced": self.service.coalescer.coalesced,
+        }
+
     def _retry_after(self) -> float:
         """Drain-time estimate for a shed client: batches ahead of it times
         the batch-wall EWMA, divided across concurrent batch slots — then
@@ -277,20 +295,7 @@ class AsyncCompileServer:
             raise ConnectionResetError("client quit")  # unwinds this connection
         if request.cmd == "stats":
             await client.send(
-                {
-                    "id": request.id,
-                    "ok": True,
-                    "store": self.service.store.stats.to_dict(),
-                    "store_shards": self.service.store.stats_by_shard(),
-                    "entries": len(self.service.store),
-                    "batches": self.service.n_batches,
-                    "served_batches": self.n_batches,
-                    "served_requests": self.n_requests,
-                    "queued": self._pending_count,
-                    "shed": self.n_shed,
-                    "max_queue": self.max_queue,
-                    "coalesced": self.service.coalescer.coalesced,
-                }
+                {"id": request.id, "ok": True, **self.stats_payload()}
             )
             return
         await client.send(
@@ -486,8 +491,23 @@ class AsyncCompileServer:
         return 0
 
 
+def _install_stop_signals(server: AsyncCompileServer) -> None:
+    """SIGTERM/SIGINT request the same graceful stop as ``{"cmd":
+    "shutdown"}``: drain, flush, report. CI supervisors and the load
+    harness tear servers down with SIGTERM, so a default-action death
+    there would lose the final flush and the closing stats snapshot.
+    Best-effort: event-loop signal handlers are a Unix feature."""
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, server.stopping.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-Unix loop or non-main thread: keep default handling
+
+
 async def _amain_tcp(server: AsyncCompileServer, host: str, port: int) -> int:
     tcp = await server.start_tcp(host, port)
+    _install_stop_signals(server)
     bound = tcp.sockets[0].getsockname()
     # Announce the bound address (port 0 resolves here) for scripted clients.
     print(json.dumps({"serving": f"{bound[0]}:{bound[1]}"}), flush=True)
@@ -496,6 +516,13 @@ async def _amain_tcp(server: AsyncCompileServer, host: str, port: int) -> int:
         await server.drain()  # answer everything enqueued before the stop
         server.hang_up()
     await server.close()
+    # The closing snapshot, after every batch drained and the store
+    # flushed: whether stopped by the shutdown command, SIGTERM, or
+    # SIGINT, a scripted supervisor always gets the final counters.
+    print(
+        json.dumps({"final_stats": server.stats_payload()}, sort_keys=True),
+        flush=True,
+    )
     return 0
 
 

@@ -11,9 +11,11 @@ from repro.workloads.mixes import (
     PAPER_SUITE_AVERAGE,
     PAPER_TABLE2,
     TABLE2_COLUMNS,
+    TRAFFIC_MIXES,
     instruction_mix,
     mix_percentages,
     suite_average_percentages,
+    traffic_mix,
 )
 from repro.workloads.qft import controlled_phase, gse, qft
 from repro.workloads.revlib_like import (
@@ -33,9 +35,11 @@ __all__ = [
     "PAPER_SUITE_AVERAGE",
     "PAPER_TABLE2",
     "TABLE2_COLUMNS",
+    "TRAFFIC_MIXES",
     "instruction_mix",
     "mix_percentages",
     "suite_average_percentages",
+    "traffic_mix",
     "controlled_phase",
     "gse",
     "qft",

@@ -1,13 +1,55 @@
-"""Instruction-mix accounting (paper Table II)."""
+"""Instruction-mix accounting (paper Table II) and named traffic mixes.
+
+Two kinds of "mix" live here. :func:`instruction_mix` and friends count
+*gates inside one circuit* (the paper's Table II columns). The
+:data:`TRAFFIC_MIXES` registry describes *request traffic* — weighted
+program-name distributions the load harness (:mod:`repro.service.loadgen`)
+replays against ``repro serve --async``. Keeping the registry in the
+workloads layer means a scenario spec can name a mix (``"qft-small"``)
+instead of embedding program lists, and every mix is validated against
+the same program resolver the serve protocol uses.
+"""
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.circuits.circuit import Circuit
 
 TABLE2_COLUMNS = ("x", "t", "h", "cx", "rz", "tdg")
+
+#: Named request-traffic distributions for the load harness: mix name ->
+#: [(program_name, weight), ...]. Program names must resolve through
+#: :func:`repro.service.protocol.resolve_program` (named benchmarks or
+#: ``qft_<n>``); weights are relative draw probabilities. "qft-small" is
+#: the smoke-test staple (small circuits, heavy cross-request overlap so
+#: the store/coalescer carry real load); "qft-spread" has little overlap
+#: (stresses cold solves); "suite-mixed" adds two Table II programs for
+#: heterogeneous group sizes (the soak staple).
+TRAFFIC_MIXES: Dict[str, List[Tuple[str, float]]] = {
+    "qft-small": [("qft_4", 3.0), ("qft_5", 2.0), ("qft_6", 1.0)],
+    "qft-spread": [(f"qft_{n}", 1.0) for n in range(4, 10)],
+    "suite-mixed": [
+        ("qft_4", 3.0),
+        ("qft_5", 2.0),
+        ("qft_6", 2.0),
+        ("qft_8", 1.0),
+        ("4gt4-v0", 1.0),
+        ("ex2", 1.0),
+    ],
+}
+
+
+def traffic_mix(name: str) -> List[Tuple[str, float]]:
+    """Resolve a named traffic mix, loudly (``ValueError`` on unknown)."""
+    try:
+        return list(TRAFFIC_MIXES[name])
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic mix {name!r}; known mixes: "
+            f"{sorted(TRAFFIC_MIXES)}"
+        ) from None
 
 # The paper's reported per-program counts (Table II), for comparison rows.
 PAPER_TABLE2: Dict[str, Dict[str, int]] = {
